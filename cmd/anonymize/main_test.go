@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ldiv"
+)
+
+func sampleTable(t *testing.T) *ldiv.Table {
+	t.Helper()
+	csv := `Age,Gender,Disease
+30,M,flu
+30,F,cold
+40,M,flu
+40,F,cold
+50,M,angina
+50,F,flu
+60,M,cold
+60,F,angina
+`
+	tbl, err := ldiv.ReadCSV(strings.NewReader(csv), []string{"Age", "Gender"}, "Disease")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestRunDispatchesEveryAlgorithm(t *testing.T) {
+	tbl := sampleTable(t)
+	for _, algo := range []string{"tp", "tp+", "tpplus", "hilbert", "tds", "mondrian", "incognito"} {
+		gen, phase, err := run(tbl, 2, algo)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if gen == nil {
+			t.Fatalf("%s: nil generalization", algo)
+		}
+		if !ldiv.IsLDiverse(tbl, gen.Partition, 2) {
+			t.Fatalf("%s: output not 2-diverse", algo)
+		}
+		if strings.HasPrefix(algo, "tp") && phase == 0 {
+			t.Errorf("%s: expected a TP termination phase", algo)
+		}
+		if algo == "hilbert" && phase != 0 {
+			t.Errorf("hilbert should report phase 0, got %d", phase)
+		}
+	}
+	if _, _, err := run(tbl, 2, "nope"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestWriteGeneralized(t *testing.T) {
+	tbl := sampleTable(t)
+	gen, _, err := run(tbl, 2, "tp+")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "out.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeGeneralized(f, gen); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != tbl.Len()+1 {
+		t.Fatalf("output has %d lines, want %d", len(lines), tbl.Len()+1)
+	}
+	if !strings.HasPrefix(lines[0], "Age,Gender,Disease") {
+		t.Errorf("header = %q", lines[0])
+	}
+	// Every sensitive value of the input must appear unchanged in the output.
+	for _, disease := range []string{"flu", "cold", "angina"} {
+		if !strings.Contains(out, disease) {
+			t.Errorf("output misses sensitive value %q", disease)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Command ldivbench regenerates the paper's evaluation (Section 6): each
+// figure is printed as a text table with the same rows and series the paper
+// plots. Absolute values depend on the machine and on the synthetic data, but
+// the shapes (who wins, how curves grow with l, d and n) reproduce the paper.
+//
+// Usage:
+//
+//	ldivbench -fig all                 # laptop-scale defaults
+//	ldivbench -fig 2 -rows 600000 -projections 0   # paper-scale Figure 2
+//	ldivbench -fig p3                  # phase-three frequency study
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"ldiv/internal/experiment"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ldivbench: ")
+
+	fig := flag.String("fig", "all", "which experiment to run: 2,3,4,5,6,7,8,p3,t6 or all")
+	rows := flag.Int("rows", 0, "base table cardinality (0 = default 60000)")
+	klRows := flag.Int("klrows", 0, "cardinality for the KL figures (0 = default 15000)")
+	projections := flag.Int("projections", -1, "max projections per d (-1 = default 5, 0 = all C(7,d) as in the paper)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	paper := flag.Bool("paper", false, "use the full paper-scale configuration (slow)")
+	flag.Parse()
+
+	cfg := experiment.DefaultConfig()
+	if *paper {
+		cfg = experiment.PaperConfig()
+	}
+	if *rows > 0 {
+		cfg.Rows = *rows
+	}
+	if *klRows > 0 {
+		cfg.KLRows = *klRows
+	}
+	if *projections >= 0 {
+		cfg.MaxProjections = *projections
+	}
+	cfg.Seed = *seed
+	r := experiment.NewRunner(cfg)
+
+	run := func(name string, f func() ([]experiment.Figure, error)) {
+		start := time.Now()
+		figs, err := f()
+		if err != nil {
+			log.Fatalf("figure %s: %v", name, err)
+		}
+		for _, fig := range figs {
+			fmt.Println(experiment.Format(fig))
+		}
+		fmt.Printf("(figure %s completed in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := strings.ToLower(*fig)
+	selected := func(name string) bool { return want == "all" || want == name }
+
+	if selected("t6") {
+		fmt.Println(experiment.Format(experiment.Table6()))
+	}
+	if selected("2") {
+		run("2", r.Figure2)
+	}
+	if selected("3") {
+		run("3", r.Figure3)
+	}
+	if selected("4") {
+		run("4", r.Figure4)
+	}
+	if selected("5") {
+		run("5", r.Figure5)
+	}
+	if selected("6") {
+		run("6", r.Figure6)
+	}
+	if selected("7") {
+		run("7", r.Figure7)
+	}
+	if selected("8") {
+		run("8", r.Figure8)
+	}
+	if selected("p3") {
+		start := time.Now()
+		rep, err := r.Phase3Frequency()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Phase-three frequency study (Section 6.1)")
+		fmt.Printf("TP runs: %d   runs reaching phase three: %d\n", rep.Runs, rep.Phase3Runs)
+		for d, c := range rep.ByDimension {
+			fmt.Printf("  d=%d: %d phase-three runs\n", d, c)
+		}
+		if rep.Phase3Runs == 0 {
+			fmt.Println("As in the paper, every run terminated before phase three,")
+			fmt.Println("so every returned solution is an O(d)-approximation.")
+		}
+		fmt.Printf("(completed in %s)\n", time.Since(start).Round(time.Millisecond))
+	}
+	if want != "all" && !isKnown(want) {
+		log.Fatalf("unknown figure %q", *fig)
+	}
+}
+
+func isKnown(name string) bool {
+	switch name {
+	case "2", "3", "4", "5", "6", "7", "8", "p3", "t6":
+		return true
+	}
+	return false
+}

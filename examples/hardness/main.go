@@ -1,0 +1,69 @@
+// Command hardness walks through the NP-hardness reduction of Section 4 on
+// the paper's Figure 1 example: a 3-dimensional matching instance is turned
+// into a microdata table such that an optimal 3-diverse suppression uses
+// exactly 3n(d-1) stars if and only if the instance has a perfect matching.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ldiv/internal/eligibility"
+	"ldiv/internal/generalize"
+	"ldiv/internal/hardness"
+)
+
+func main() {
+	// Figure 1a: D1={1,2,3,4}, D2={a,b,c,d}, D3={alpha..delta}, six points.
+	inst := &hardness.Instance3DM{
+		N: 4,
+		Points: [][3]int{
+			{0, 0, 3}, // p1 = (1, a, delta)
+			{0, 1, 2}, // p2 = (1, b, gamma)
+			{1, 2, 0}, // p3 = (2, c, alpha)
+			{1, 1, 0}, // p4 = (2, b, alpha)
+			{2, 1, 2}, // p5 = (3, b, gamma)
+			{3, 3, 1}, // p6 = (4, d, beta)
+		},
+	}
+	red, err := hardness.Build(inst, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== Constructed table T (Figure 1b, m = 8) ===")
+	fmt.Println(red.Table)
+	if err := red.CheckProperty1(); err != nil {
+		log.Fatal(err)
+	}
+	if err := red.CheckConstruction(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Property 1 holds: every QI column has exactly three zeros.")
+	fmt.Printf("Star target 3n(d-1) = %d\n\n", red.StarsTarget())
+
+	sol, ok := hardness.Solve3DM(inst)
+	if !ok {
+		log.Fatal("the Figure 1 instance should have a perfect matching")
+	}
+	fmt.Printf("3DM solution found: points %v (0-based)\n", sol)
+
+	groups, err := red.MatchingPartition(sol)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := generalize.NewPartition(groups)
+	if !eligibility.IsLDiversePartition(red.Table, p.Groups, 3) {
+		log.Fatal("matching partition is not 3-diverse")
+	}
+	stars := generalize.StarsForPartition(red.Table, p)
+	fmt.Printf("The matching-induced partition is 3-diverse and uses %d stars", stars)
+	if stars == red.StarsTarget() {
+		fmt.Println(" — exactly the 3n(d-1) target of Lemma 3.")
+	} else {
+		fmt.Println(" — UNEXPECTED, the reduction is broken.")
+	}
+	fmt.Println()
+	fmt.Println("Hence deciding whether an optimal 3-diverse generalization reaches the")
+	fmt.Println("3n(d-1) star target answers the NP-hard 3-dimensional matching problem,")
+	fmt.Println("which is why the paper resorts to an approximation algorithm (TP).")
+}

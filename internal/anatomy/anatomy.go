@@ -1,0 +1,176 @@
+// Package anatomy implements the anatomy methodology of Xiao and Tao (VLDB
+// 2006), which the paper surveys in Section 2 as the main alternative to
+// generalization: instead of coarsening QI values, anatomy publishes the
+// exact QI values and the sensitive values in two separate tables linked only
+// by a group identifier, where each group contains at most one tuple per
+// sensitive value out of l distinct values. Privacy is equivalent to
+// l-diversity (an adversary locating an individual's group sees each of the
+// group's sensitive values as equally likely); utility is higher because no
+// QI value is distorted, at the cost of publishing two tables that cannot be
+// joined back deterministically.
+package anatomy
+
+import (
+	"fmt"
+	"sort"
+
+	"ldiv/internal/eligibility"
+	"ldiv/internal/table"
+)
+
+// Result is an anatomized publication.
+type Result struct {
+	// Groups lists the buckets; each bucket is a set of row indices in which
+	// every sensitive value appears at most once (so a bucket of size g is
+	// g-diverse, and every bucket has size at least l).
+	Groups [][]int
+	// GroupOf[row] is the bucket index of each row.
+	GroupOf []int
+}
+
+// QITRow is one row of the published quasi-identifier table (QIT).
+type QITRow struct {
+	Row     int      // original row index (a surrogate tuple identifier)
+	QI      []string // exact QI labels
+	GroupID int
+}
+
+// STRow is one row of the published sensitive table (ST).
+type STRow struct {
+	GroupID int
+	SALabel string
+	Count   int
+}
+
+// Anonymize buckets the table with the standard anatomy algorithm: while at
+// least l sensitive values still have unassigned tuples, create a bucket with
+// one tuple from each of the l currently most frequent values; afterwards,
+// assign each residual tuple to some bucket that does not yet contain its
+// sensitive value. The input must be l-eligible, which guarantees the
+// residual assignment always succeeds.
+func Anonymize(t *table.Table, l int) (*Result, error) {
+	if l < 2 {
+		return nil, fmt.Errorf("anatomy: l must be at least 2, got %d", l)
+	}
+	if !eligibility.IsEligibleTable(t, l) {
+		return nil, fmt.Errorf("anatomy: table is not %d-eligible", l)
+	}
+	// Stacks of row indices per sensitive value.
+	buckets := make(map[int][]int)
+	for i := 0; i < t.Len(); i++ {
+		buckets[t.SAValue(i)] = append(buckets[t.SAValue(i)], i)
+	}
+	values := make([]int, 0, len(buckets))
+	for v := range buckets {
+		values = append(values, v)
+	}
+	sort.Ints(values)
+
+	res := &Result{GroupOf: make([]int, t.Len())}
+	for i := range res.GroupOf {
+		res.GroupOf[i] = -1
+	}
+
+	nonEmpty := func() []int {
+		out := make([]int, 0, len(values))
+		for _, v := range values {
+			if len(buckets[v]) > 0 {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+
+	for {
+		alive := nonEmpty()
+		if len(alive) < l {
+			break
+		}
+		// Pick the l values with the most remaining tuples (ties by code).
+		sort.SliceStable(alive, func(a, b int) bool {
+			if len(buckets[alive[a]]) != len(buckets[alive[b]]) {
+				return len(buckets[alive[a]]) > len(buckets[alive[b]])
+			}
+			return alive[a] < alive[b]
+		})
+		group := make([]int, 0, l)
+		gid := len(res.Groups)
+		for _, v := range alive[:l] {
+			stack := buckets[v]
+			row := stack[len(stack)-1]
+			buckets[v] = stack[:len(stack)-1]
+			group = append(group, row)
+			res.GroupOf[row] = gid
+		}
+		sort.Ints(group)
+		res.Groups = append(res.Groups, group)
+	}
+
+	// Residual assignment: each leftover tuple joins a bucket whose sensitive
+	// values do not include its own.
+	if len(res.Groups) == 0 {
+		return nil, fmt.Errorf("anatomy: internal error: no buckets were formed")
+	}
+	groupHas := make([]map[int]bool, len(res.Groups))
+	for gi, g := range res.Groups {
+		groupHas[gi] = make(map[int]bool, len(g))
+		for _, r := range g {
+			groupHas[gi][t.SAValue(r)] = true
+		}
+	}
+	for _, v := range values {
+		for _, row := range buckets[v] {
+			assigned := false
+			for gi := range res.Groups {
+				if !groupHas[gi][v] {
+					res.Groups[gi] = append(res.Groups[gi], row)
+					sort.Ints(res.Groups[gi])
+					groupHas[gi][v] = true
+					res.GroupOf[row] = gi
+					assigned = true
+					break
+				}
+			}
+			if !assigned {
+				// Cannot happen on an l-eligible input: the number of groups
+				// is at least h(T), the frequency of the most common value.
+				return nil, fmt.Errorf("anatomy: could not place a residual tuple with sensitive value %d", v)
+			}
+		}
+	}
+	return res, nil
+}
+
+// QIT renders the published quasi-identifier table.
+func (r *Result) QIT(t *table.Table) []QITRow {
+	out := make([]QITRow, 0, t.Len())
+	for i := 0; i < t.Len(); i++ {
+		qi := make([]string, t.Dimensions())
+		for j := range qi {
+			qi[j] = t.QILabel(i, j)
+		}
+		out = append(out, QITRow{Row: i, QI: qi, GroupID: r.GroupOf[i]})
+	}
+	return out
+}
+
+// ST renders the published sensitive table: per group, the multiset of
+// sensitive labels with counts.
+func (r *Result) ST(t *table.Table) []STRow {
+	var out []STRow
+	for gid, g := range r.Groups {
+		hist := make(map[int]int)
+		for _, row := range g {
+			hist[t.SAValue(row)]++
+		}
+		codes := make([]int, 0, len(hist))
+		for v := range hist {
+			codes = append(codes, v)
+		}
+		sort.Ints(codes)
+		for _, v := range codes {
+			out = append(out, STRow{GroupID: gid, SALabel: t.Schema().SA().Label(v), Count: hist[v]})
+		}
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+// Package attack audits the privacy of a published generalization by
+// simulating the linking adversary of Section 1: someone who knows every
+// individual's quasi-identifier values and tries to infer their sensitive
+// value from the published table. For each tuple it computes the adversary's
+// confidence (the frequency of the tuple's true sensitive value inside the
+// set of published rows compatible with the tuple's QI values), which is the
+// quantity l-diversity bounds by 1/l and k-anonymity fails to bound (the
+// homogeneity problem of Table 2).
+package attack
+
+import (
+	"fmt"
+	"sort"
+
+	"ldiv/internal/generalize"
+	"ldiv/internal/table"
+)
+
+// Report summarizes the linking-attack risk of a published table.
+type Report struct {
+	// Confidences[i] is the adversary's confidence in the true sensitive
+	// value of row i: |{rows in i's matching set with i's SA value}| divided
+	// by the matching-set size.
+	Confidences []float64
+	// MaxConfidence is the largest entry of Confidences.
+	MaxConfidence float64
+	// MeanConfidence is the average entry of Confidences.
+	MeanConfidence float64
+	// Disclosed counts the rows whose sensitive value is disclosed with
+	// certainty (confidence 1).
+	Disclosed int
+}
+
+// AtRisk returns the number of individuals whose sensitive value can be
+// inferred with confidence strictly greater than the threshold (0 < t <= 1).
+func (r *Report) AtRisk(threshold float64) int {
+	count := 0
+	for _, c := range r.Confidences {
+		if c > threshold+1e-12 {
+			count++
+		}
+	}
+	return count
+}
+
+// BreachProbability returns the fraction of individuals whose sensitive value
+// can be inferred with confidence strictly greater than 1/l.
+func (r *Report) BreachProbability(l int) float64 {
+	if len(r.Confidences) == 0 || l <= 0 {
+		return 0
+	}
+	return float64(r.AtRisk(1.0/float64(l))) / float64(len(r.Confidences))
+}
+
+// Audit simulates the linking attack against a published generalization. The
+// adversary knows each individual's exact QI values (the standard assumption
+// of Section 2, "anonymization principles") and the published table; their
+// matching set for individual i is the set of published rows whose cells
+// cover i's QI values.
+func Audit(g *generalize.Generalized) (*Report, error) {
+	t := g.Source
+	n := t.Len()
+	rep := &Report{Confidences: make([]float64, n)}
+	if n == 0 {
+		return rep, nil
+	}
+	d := t.Dimensions()
+
+	// The matching set of an individual is the union of the QI-groups whose
+	// published cells cover the individual's QI values. Group the published
+	// rows by their cell signature so each signature is tested once per
+	// distinct original QI vector.
+	type bucket struct {
+		cells []generalize.Cell
+		hist  map[int]int
+		size  int
+	}
+	var buckets []*bucket
+	bySig := make(map[string]*bucket)
+	for _, rows := range g.Partition.Groups {
+		if len(rows) == 0 {
+			continue
+		}
+		cells := g.Cells[rows[0]]
+		sig := cellSignature(cells)
+		b, ok := bySig[sig]
+		if !ok {
+			b = &bucket{cells: cells, hist: make(map[int]int)}
+			bySig[sig] = b
+			buckets = append(buckets, b)
+		}
+		for _, r := range rows {
+			b.hist[t.SAValue(r)]++
+			b.size++
+		}
+	}
+
+	// Distinct original QI vectors, so the compatibility test runs once per
+	// vector rather than once per row.
+	type profile struct {
+		rows []int
+	}
+	profiles := make(map[string]*profile)
+	for i := 0; i < n; i++ {
+		k := t.QIKey(i)
+		p, ok := profiles[k]
+		if !ok {
+			p = &profile{}
+			profiles[k] = p
+		}
+		p.rows = append(p.rows, i)
+	}
+
+	total := 0.0
+	for _, p := range profiles {
+		rep0 := p.rows[0]
+		matchSize := 0
+		matchHist := make(map[int]int)
+		for _, b := range buckets {
+			covered := true
+			for j := 0; j < d; j++ {
+				if !b.cells[j].Covers(t.QIValue(rep0, j)) {
+					covered = false
+					break
+				}
+			}
+			if !covered {
+				continue
+			}
+			matchSize += b.size
+			for v, c := range b.hist {
+				matchHist[v] += c
+			}
+		}
+		if matchSize == 0 {
+			return nil, fmt.Errorf("attack: row %d is not covered by any published group", rep0)
+		}
+		for _, i := range p.rows {
+			conf := float64(matchHist[t.SAValue(i)]) / float64(matchSize)
+			rep.Confidences[i] = conf
+			total += conf
+			if conf >= 1-1e-12 {
+				rep.Disclosed++
+			}
+			if conf > rep.MaxConfidence {
+				rep.MaxConfidence = conf
+			}
+		}
+	}
+	rep.MeanConfidence = total / float64(n)
+	return rep, nil
+}
+
+// AuditPartition is a convenience wrapper that applies suppression to the
+// partition and audits the result.
+func AuditPartition(t *table.Table, p *generalize.Partition) (*Report, error) {
+	g, err := generalize.Suppress(t, p)
+	if err != nil {
+		return nil, err
+	}
+	return Audit(g)
+}
+
+// cellSignature renders a stable key for a row of published cells.
+func cellSignature(cells []generalize.Cell) string {
+	s := ""
+	for _, c := range cells {
+		switch c.Kind {
+		case generalize.CellExact:
+			s += fmt.Sprintf("e%d|", c.Value)
+		case generalize.CellStar:
+			s += "*|"
+		default:
+			vals := make([]int, len(c.Set))
+			copy(vals, c.Set)
+			sort.Ints(vals)
+			s += "s"
+			for _, v := range vals {
+				s += fmt.Sprintf("%d.", v)
+			}
+			s += "|"
+		}
+	}
+	return s
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"ldiv/internal/eligibility"
+	"ldiv/internal/table"
+)
+
+// Refiner re-partitions the residue set R into smaller l-eligible groups so
+// that fewer QI values need to be suppressed. It is the pluggable heuristic
+// of the TP+ hybrid (Section 5.6 / 6.1); the Hilbert suppressor is the
+// default implementation used in the paper's experiments.
+type Refiner interface {
+	// PartitionRows partitions the given row indices of t into groups, each
+	// of which must be l-eligible. Every input row must appear in exactly one
+	// output group.
+	PartitionRows(t *table.Table, rows []int, l int) ([][]int, error)
+}
+
+// HybridAnonymizer is TP+: it runs TP and then applies a heuristic refiner to
+// the residue set R, which can only decrease the number of stars while
+// preserving the O(l·d) approximation guarantee.
+type HybridAnonymizer struct {
+	L       int
+	Refiner Refiner
+}
+
+// NewHybridAnonymizer returns a TP+ anonymizer for the given l and refiner.
+func NewHybridAnonymizer(l int, r Refiner) *HybridAnonymizer {
+	return &HybridAnonymizer{L: l, Refiner: r}
+}
+
+// Anonymize runs TP and refines the residue. The refined residue partition is
+// validated: if the refiner returns an invalid partition (rows missing or a
+// group that is not l-eligible), the residue is kept as a single group and an
+// error is returned alongside the plain-TP result.
+func (h *HybridAnonymizer) Anonymize(t *table.Table) (*Result, error) {
+	base := NewAnonymizer(h.L)
+	res, err := base.Anonymize(t)
+	if err != nil {
+		return nil, err
+	}
+	return h.refine(t, res)
+}
+
+// AnonymizeGroups is like Anonymize but starts from a caller-supplied
+// partition into QI-groups (see Anonymizer.AnonymizeGroups).
+func (h *HybridAnonymizer) AnonymizeGroups(t *table.Table, groups [][]int) (*Result, error) {
+	base := NewAnonymizer(h.L)
+	res, err := base.AnonymizeGroups(t, groups)
+	if err != nil {
+		return nil, err
+	}
+	return h.refine(t, res)
+}
+
+func (h *HybridAnonymizer) refine(t *table.Table, res *Result) (*Result, error) {
+	if h.Refiner == nil || len(res.Residue) == 0 {
+		return res, nil
+	}
+	groups, err := h.Refiner.PartitionRows(t, res.Residue, h.L)
+	if err != nil {
+		return res, fmt.Errorf("core: residue refinement failed, keeping single residue group: %w", err)
+	}
+	if err := validateResiduePartition(t, res.Residue, groups, h.L); err != nil {
+		return res, fmt.Errorf("core: refiner returned an invalid residue partition, keeping single residue group: %w", err)
+	}
+	refined := *res
+	refined.ResidueGroups = make([][]int, 0, len(groups))
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		cp := make([]int, len(g))
+		copy(cp, g)
+		refined.ResidueGroups = append(refined.ResidueGroups, cp)
+	}
+	refined.normalize()
+	return &refined, nil
+}
+
+// validateResiduePartition checks that groups is a partition of rows and that
+// each group is l-eligible.
+func validateResiduePartition(t *table.Table, rows []int, groups [][]int, l int) error {
+	want := make(map[int]bool, len(rows))
+	for _, r := range rows {
+		want[r] = true
+	}
+	seen := make(map[int]bool, len(rows))
+	for gi, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		for _, r := range g {
+			if !want[r] {
+				return fmt.Errorf("group %d contains row %d which is not part of the residue", gi, r)
+			}
+			if seen[r] {
+				return fmt.Errorf("row %d appears in more than one group", r)
+			}
+			seen[r] = true
+		}
+		if !eligibility.IsEligibleRows(t, g, l) {
+			return fmt.Errorf("group %d is not %d-eligible", gi, l)
+		}
+	}
+	if len(seen) != len(rows) {
+		return fmt.Errorf("partition covers %d of %d residue rows", len(seen), len(rows))
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+// Package core implements the paper's primary contribution: the TP
+// three-phase approximation algorithm for l-diverse generalization via tuple
+// minimization (Section 5), its inverted-list implementation (Section 5.5),
+// and the TP+ hybrid that refines the residue set with a pluggable heuristic
+// (Section 5.6 / 6.1).
+package core
+
+import "sort"
+
+// saMultiset tracks a multiset of rows keyed by their sensitive value, with
+// the height bookkeeping of Section 5.5: counts per SA value, bucketed by
+// height, and a pillar pointer (the maximum height). It supports O(1)
+// amortized insertion and removal of a single row.
+type saMultiset struct {
+	rows    map[int][]int            // sa value -> stack of row indices
+	cnt     map[int]int              // sa value -> multiplicity
+	heights map[int]map[int]struct{} // height -> set of sa values at that height
+	size    int
+	maxH    int
+}
+
+func newSAMultiset() *saMultiset {
+	return &saMultiset{
+		rows:    make(map[int][]int),
+		cnt:     make(map[int]int),
+		heights: make(map[int]map[int]struct{}),
+	}
+}
+
+func (m *saMultiset) setHeight(v, from, to int) {
+	if from > 0 {
+		if set, ok := m.heights[from]; ok {
+			delete(set, v)
+			if len(set) == 0 {
+				delete(m.heights, from)
+			}
+		}
+	}
+	if to > 0 {
+		set, ok := m.heights[to]
+		if !ok {
+			set = make(map[int]struct{})
+			m.heights[to] = set
+		}
+		set[v] = struct{}{}
+	}
+}
+
+// add inserts row with sensitive value v.
+func (m *saMultiset) add(v, row int) {
+	old := m.cnt[v]
+	m.cnt[v] = old + 1
+	m.rows[v] = append(m.rows[v], row)
+	m.setHeight(v, old, old+1)
+	m.size++
+	if old+1 > m.maxH {
+		m.maxH = old + 1
+	}
+}
+
+// removeOne removes one row with sensitive value v and returns its row index.
+// It panics if no such row exists (a programming error in the algorithm).
+func (m *saMultiset) removeOne(v int) int {
+	stack := m.rows[v]
+	if len(stack) == 0 {
+		panic("core: removeOne from empty sensitive-value bucket")
+	}
+	row := stack[len(stack)-1]
+	m.rows[v] = stack[:len(stack)-1]
+	old := m.cnt[v]
+	if old == 1 {
+		delete(m.cnt, v)
+		delete(m.rows, v)
+	} else {
+		m.cnt[v] = old - 1
+	}
+	m.setHeight(v, old, old-1)
+	m.size--
+	// The pillar pointer moves down monotonically overall; each step is O(1)
+	// amortized because it only decreases when its bucket empties.
+	for m.maxH > 0 {
+		if set, ok := m.heights[m.maxH]; ok && len(set) > 0 {
+			break
+		}
+		m.maxH--
+	}
+	return row
+}
+
+// count returns h(·, v), the multiplicity of sensitive value v.
+func (m *saMultiset) count(v int) int { return m.cnt[v] }
+
+// height returns h(·), the pillar height.
+func (m *saMultiset) height() int { return m.maxH }
+
+// len returns the multiset cardinality.
+func (m *saMultiset) len() int { return m.size }
+
+// pillars returns the sensitive values at pillar height, in ascending order
+// for determinism. The result is empty for an empty multiset.
+func (m *saMultiset) pillars() []int {
+	if m.maxH == 0 {
+		return nil
+	}
+	set := m.heights[m.maxH]
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// isPillar reports whether v is at pillar height.
+func (m *saMultiset) isPillar(v int) bool {
+	return m.maxH > 0 && m.cnt[v] == m.maxH
+}
+
+// values returns the distinct sensitive values present, in ascending order.
+func (m *saMultiset) values() []int {
+	out := make([]int, 0, len(m.cnt))
+	for v := range m.cnt {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// eligible reports whether the multiset is l-eligible: |S| >= l * h(S).
+func (m *saMultiset) eligible(l int) bool {
+	return m.size >= l*m.maxH
+}
+
+// allRows returns every row index currently in the multiset, grouped by
+// ascending sensitive value, preserving insertion order within a value.
+func (m *saMultiset) allRows() []int {
+	out := make([]int, 0, m.size)
+	for _, v := range m.values() {
+		out = append(out, m.rows[v]...)
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"sort"
+
+	"ldiv/internal/generalize"
+	"ldiv/internal/table"
+)
+
+// Result is the outcome of a TP (or TP+) run: the surviving QI-groups (which
+// retain their exact QI values and therefore contribute no stars), the
+// residue set R of removed tuples, and bookkeeping about which phase
+// terminated the run.
+type Result struct {
+	// L is the diversity parameter the run enforced.
+	L int
+	// KeptGroups are the QI-groups that survive with their QI values intact.
+	// Each group is l-eligible and all of its rows share identical QI values.
+	KeptGroups [][]int
+	// Residue is the set R of removed (suppressed) tuples, l-eligible as a
+	// whole. In plain TP it is published as a single QI-group; TP+ refines it.
+	Residue []int
+	// ResidueGroups is the partition of the residue used in the published
+	// table. For plain TP it is a single group equal to Residue (or empty if
+	// the residue is empty); TP+ replaces it with the refiner's partition.
+	ResidueGroups [][]int
+	// TerminationPhase records the phase (1, 2 or 3) whose termination test
+	// ended the run. Phase 1 termination implies an optimal solution to tuple
+	// minimization (Corollary 1); phase 2 adds at most l-1 tuples
+	// (Corollary 3); phase 3 yields the l-approximation (Theorem 3).
+	TerminationPhase int
+	// Phase3Rounds is the number of phase-three rounds executed (0 when the
+	// run ended earlier).
+	Phase3Rounds int
+	// RemovedByPhase[p] is the number of tuples moved to R during phase p
+	// (indices 1..3; index 0 is unused).
+	RemovedByPhase [4]int
+}
+
+// SuppressedTuples returns |R|, the objective value of tuple minimization.
+func (r *Result) SuppressedTuples() int { return len(r.Residue) }
+
+// Partition returns the published partition: every kept group plus the
+// residue groups.
+func (r *Result) Partition() *generalize.Partition {
+	groups := make([][]int, 0, len(r.KeptGroups)+len(r.ResidueGroups))
+	groups = append(groups, r.KeptGroups...)
+	groups = append(groups, r.ResidueGroups...)
+	return generalize.NewPartition(groups)
+}
+
+// Generalize applies suppression (Definition 1) to the result's partition.
+func (r *Result) Generalize(t *table.Table) (*generalize.Generalized, error) {
+	return generalize.Suppress(t, r.Partition())
+}
+
+// Stars returns the number of stars in the suppression generalization of the
+// result's partition, the objective of star minimization (Problem 1).
+func (r *Result) Stars(t *table.Table) int {
+	return generalize.StarsForPartition(t, r.Partition())
+}
+
+// normalize sorts groups and rows for deterministic output.
+func (r *Result) normalize() {
+	sort.Ints(r.Residue)
+	for _, g := range r.KeptGroups {
+		sort.Ints(g)
+	}
+	sort.Slice(r.KeptGroups, func(i, j int) bool {
+		return r.KeptGroups[i][0] < r.KeptGroups[j][0]
+	})
+	for _, g := range r.ResidueGroups {
+		sort.Ints(g)
+	}
+	sort.Slice(r.ResidueGroups, func(i, j int) bool {
+		if len(r.ResidueGroups[i]) == 0 || len(r.ResidueGroups[j]) == 0 {
+			return len(r.ResidueGroups[i]) > len(r.ResidueGroups[j])
+		}
+		return r.ResidueGroups[i][0] < r.ResidueGroups[j][0]
+	})
+}

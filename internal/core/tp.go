@@ -1,0 +1,369 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ldiv/internal/eligibility"
+	"ldiv/internal/table"
+)
+
+// ErrNotEligible is returned when the input table is not l-eligible, i.e.
+// more than |T|/l of its tuples carry the same sensitive value, in which case
+// no l-diverse generalization exists (Lemma 1).
+var ErrNotEligible = errors.New("core: table is not l-eligible; no l-diverse generalization exists")
+
+// Anonymizer runs the TP three-phase algorithm.
+type Anonymizer struct {
+	// L is the diversity parameter; it must be at least 2 to have any effect.
+	L int
+	// SkipPhaseTwo disables phase two, jumping straight from phase one to
+	// phase three when the residue is not yet l-eligible. It exists only for
+	// the ablation study of the design choices (phase two is what keeps h(R)
+	// from growing); production callers should leave it false.
+	SkipPhaseTwo bool
+}
+
+// NewAnonymizer returns a TP anonymizer for the given l.
+func NewAnonymizer(l int) *Anonymizer { return &Anonymizer{L: l} }
+
+// Anonymize partitions t into QI-groups of identical QI values and runs the
+// three phases of Section 5, returning the surviving groups and the residue
+// set R. The returned partition is always l-diverse (each kept group and R
+// are l-eligible), and |R| <= l * OPT where OPT is the minimum number of
+// suppressed tuples (Theorem 3).
+func (a *Anonymizer) Anonymize(t *table.Table) (*Result, error) {
+	if a.L < 1 {
+		return nil, fmt.Errorf("core: invalid l = %d", a.L)
+	}
+	groups := t.GroupByQI()
+	return a.AnonymizeGroups(t, groups)
+}
+
+// AnonymizeGroups runs TP on a caller-supplied initial partition into
+// QI-groups. The caller guarantees that rows inside one group share the same
+// QI values (for example via Table.GroupByQI, or after a single-dimensional
+// coarsening preprocess as discussed in Section 5.6).
+func (a *Anonymizer) AnonymizeGroups(t *table.Table, groups [][]int) (*Result, error) {
+	l := a.L
+	if l < 1 {
+		return nil, fmt.Errorf("core: invalid l = %d", l)
+	}
+	if !eligibility.IsEligibleTable(t, l) {
+		return nil, ErrNotEligible
+	}
+	st := newState(t, groups, l)
+
+	// Phase 1: per group, shed pillar tuples until the group is l-eligible.
+	st.phaseOne()
+	if st.residueEligible() {
+		return st.result(1), nil
+	}
+
+	// Phase 2: grow R with least-frequent alive SA values without raising h(R).
+	if !a.SkipPhaseTwo {
+		if st.phaseTwo() {
+			return st.result(2), nil
+		}
+	}
+
+	// Phase 3: rounds of greedy set-cover over conflicting pillars.
+	st.phaseThree()
+	return st.result(3), nil
+}
+
+// state carries the mutable data structures of Section 5.5.
+type state struct {
+	t *table.Table
+	l int
+
+	groups  []*saMultiset // surviving content of each QI-group
+	residue *saMultiset   // the set R of removed tuples
+
+	phase          int
+	removedByPhase [4]int
+	phase3Rounds   int
+}
+
+func newState(t *table.Table, groups [][]int, l int) *state {
+	st := &state{t: t, l: l, residue: newSAMultiset(), phase: 1}
+	st.groups = make([]*saMultiset, len(groups))
+	for i, g := range groups {
+		m := newSAMultiset()
+		for _, row := range g {
+			m.add(t.SAValue(row), row)
+		}
+		st.groups[i] = m
+	}
+	return st
+}
+
+// moveToResidue removes one tuple with sensitive value v from group gi and
+// appends it to R.
+func (st *state) moveToResidue(gi, v int) {
+	row := st.groups[gi].removeOne(v)
+	st.residue.add(v, row)
+	st.removedByPhase[st.phase]++
+}
+
+func (st *state) residueEligible() bool { return st.residue.eligible(st.l) }
+
+// groupEligible reports whether group gi is l-eligible.
+func (st *state) groupEligible(gi int) bool { return st.groups[gi].eligible(st.l) }
+
+// thin reports |Q| == l*h(Q). All groups are l-eligible after phase one, so a
+// group is either thin or fat.
+func (st *state) thin(gi int) bool {
+	q := st.groups[gi]
+	return q.len() == st.l*q.height()
+}
+
+// conflicting reports whether group gi has a pillar that is also a pillar of R.
+func (st *state) conflicting(gi int) bool {
+	q := st.groups[gi]
+	if q.height() == 0 || st.residue.height() == 0 {
+		return false
+	}
+	for _, v := range q.pillars() {
+		if st.residue.isPillar(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// dead reports whether group gi is thin and conflicting (Section 5.3).
+func (st *state) dead(gi int) bool { return st.thin(gi) && st.conflicting(gi) }
+
+// --- Phase one -------------------------------------------------------------
+
+func (st *state) phaseOne() {
+	st.phase = 1
+	for gi, q := range st.groups {
+		for !q.eligible(st.l) {
+			// Remove one tuple from a pillar; ties broken by smallest value
+			// for determinism (the end result is unique regardless, per the
+			// paper's observation in Section 5.2).
+			p := q.pillars()
+			st.moveToResidue(gi, p[0])
+		}
+	}
+}
+
+// --- Phase two -------------------------------------------------------------
+
+// candEntry is an entry of the candidate list C: sensitive value v is present
+// in group gi (h(Q_gi, v) > 0) and gi was alive when the entry was filed.
+type candEntry struct {
+	gi int
+	v  int
+}
+
+// phaseTwo returns true if the residue became l-eligible during the phase.
+func (st *state) phaseTwo() bool {
+	st.phase = 2
+	n := st.t.Len()
+
+	// Candidate buckets indexed by h(R, v); entries are validated lazily when
+	// popped (dead groups stay dead during phase two and h(Q, v) never grows,
+	// so entries only need to be discarded or pushed to a higher bucket).
+	buckets := make([][]candEntry, n+2)
+	push := func(e candEntry) {
+		j := st.residue.count(e.v)
+		buckets[j] = append(buckets[j], e)
+	}
+	for gi, q := range st.groups {
+		if q.len() == 0 || st.dead(gi) {
+			continue
+		}
+		for _, v := range q.values() {
+			push(candEntry{gi: gi, v: v})
+		}
+	}
+
+	for j := 0; j <= n; j++ {
+		for len(buckets[j]) > 0 {
+			e := buckets[j][len(buckets[j])-1]
+			buckets[j] = buckets[j][:len(buckets[j])-1]
+
+			q := st.groups[e.gi]
+			if q.count(e.v) == 0 || st.dead(e.gi) {
+				continue // permanently invalid
+			}
+			if cur := st.residue.count(e.v); cur != j {
+				// h(R, v) has grown since the entry was filed; re-file it.
+				buckets[cur] = append(buckets[cur], e)
+				continue
+			}
+
+			// One iteration of phase two on (Q, v).
+			if !st.thin(e.gi) {
+				st.moveToResidue(e.gi, e.v)
+			} else {
+				// Thin and alive, hence non-conflicting: shed one tuple from
+				// each of Q's pillars.
+				for _, p := range q.pillars() {
+					st.moveToResidue(e.gi, p)
+				}
+			}
+			if st.residueEligible() {
+				return true
+			}
+			// The entry may still be useful later; re-file it if the value is
+			// still present and the group still alive.
+			if q.count(e.v) > 0 && !st.dead(e.gi) {
+				push(e)
+			}
+		}
+	}
+	return st.residueEligible()
+}
+
+// --- Phase three -----------------------------------------------------------
+
+func (st *state) phaseThree() {
+	st.phase = 3
+	for !st.residueEligible() {
+		st.phase3Rounds++
+		if !st.phaseThreeRound() {
+			// No progress is possible; this cannot happen on l-eligible
+			// inputs (Lemma 7 guarantees the greedy cover always advances),
+			// but guard against an infinite loop regardless.
+			break
+		}
+	}
+}
+
+// phaseThreeRound performs one round (two steps) of phase three and reports
+// whether it removed at least one tuple.
+func (st *state) phaseThreeRound() bool {
+	l := st.l
+	progressed := false
+
+	// Step 1: greedily pick groups whose non-conflicting pillars cover every
+	// pillar of R, then shed one tuple from each pillar of each picked group.
+	pillarsR := st.residue.pillars()
+	remaining := make(map[int]bool, len(pillarsR))
+	for _, p := range pillarsR {
+		remaining[p] = true
+	}
+	picked := make(map[int]bool)
+	var selection []int
+	for len(remaining) > 0 {
+		best, bestOverlap := -1, -1
+		for gi, q := range st.groups {
+			if picked[gi] || q.len() == 0 {
+				continue
+			}
+			overlap := 0
+			for _, v := range q.pillars() {
+				if remaining[v] && st.residue.isPillar(v) {
+					overlap++
+				}
+			}
+			if best == -1 || overlap < bestOverlap {
+				best, bestOverlap = gi, overlap
+			}
+		}
+		if best == -1 || bestOverlap >= len(remaining) {
+			// No group can reduce the uncovered pillar set; bail out to the
+			// caller's progress check.
+			break
+		}
+		picked[best] = true
+		selection = append(selection, best)
+		// P <- P ∩ C(Q): keep only the pillars of R that conflict with Q too.
+		conf := make(map[int]bool)
+		for _, v := range st.groups[best].pillars() {
+			if st.residue.isPillar(v) {
+				conf[v] = true
+			}
+		}
+		for p := range remaining {
+			if !conf[p] {
+				delete(remaining, p)
+			}
+		}
+	}
+	for _, gi := range selection {
+		// Removing one tuple from each pillar is the atomic step that keeps
+		// the group l-eligible; only check the residue once it completes.
+		for _, p := range st.groups[gi].pillars() {
+			st.moveToResidue(gi, p)
+			progressed = true
+		}
+		if st.residueEligible() {
+			return true
+		}
+	}
+
+	// Step 2: re-kill every group that step 1 revived.
+	for gi, q := range st.groups {
+		if q.len() == 0 {
+			continue
+		}
+		for !st.dead(gi) && q.len() > 0 {
+			if !st.thin(gi) {
+				// Fat: remove a tuple whose SA value is not a pillar of R.
+				v, ok := st.nonPillarValue(gi)
+				if !ok {
+					break
+				}
+				st.moveToResidue(gi, v)
+				progressed = true
+			} else if st.conflicting(gi) {
+				break // dead
+			} else {
+				for _, p := range q.pillars() {
+					st.moveToResidue(gi, p)
+					progressed = true
+				}
+			}
+			if st.residueEligible() {
+				return true
+			}
+		}
+	}
+	_ = l
+	return progressed
+}
+
+// nonPillarValue returns a sensitive value present in group gi that is not a
+// pillar of R, preferring the least frequent one in R.
+func (st *state) nonPillarValue(gi int) (int, bool) {
+	q := st.groups[gi]
+	best, bestCnt := -1, -1
+	for _, v := range q.values() {
+		if st.residue.isPillar(v) {
+			continue
+		}
+		c := st.residue.count(v)
+		if best == -1 || c < bestCnt {
+			best, bestCnt = v, c
+		}
+	}
+	return best, best != -1
+}
+
+// --- Result assembly --------------------------------------------------------
+
+func (st *state) result(phase int) *Result {
+	res := &Result{L: st.l, TerminationPhase: phase, Phase3Rounds: st.phase3Rounds, RemovedByPhase: st.removedByPhase}
+	for _, q := range st.groups {
+		if q.len() == 0 {
+			continue
+		}
+		rows := q.allRows()
+		sort.Ints(rows)
+		res.KeptGroups = append(res.KeptGroups, rows)
+	}
+	res.Residue = st.residue.allRows()
+	if len(res.Residue) > 0 {
+		rg := make([]int, len(res.Residue))
+		copy(rg, res.Residue)
+		res.ResidueGroups = [][]int{rg}
+	}
+	res.normalize()
+	return res
+}

@@ -1,0 +1,104 @@
+// Package eligibility implements the privacy predicates of the paper:
+// l-eligibility of a multiset of tuples (Definition 2), l-diversity of a
+// partition/generalization, and k-anonymity for comparison.
+package eligibility
+
+import (
+	"ldiv/internal/table"
+)
+
+// MaxFrequency returns the largest count in a sensitive-value histogram
+// (the "pillar height" h(S) of Section 5), and 0 for an empty histogram.
+func MaxFrequency(hist map[int]int) int {
+	max := 0
+	for _, c := range hist {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// IsEligibleHistogram reports whether a multiset with the given sensitive
+// value histogram is l-eligible: at most |S|/l of the tuples share one
+// sensitive value, i.e. |S| >= l * h(S). The empty set is l-eligible.
+func IsEligibleHistogram(hist map[int]int, l int) bool {
+	if l <= 1 {
+		return true
+	}
+	total := 0
+	for _, c := range hist {
+		total += c
+	}
+	return total >= l*MaxFrequency(hist)
+}
+
+// IsEligibleRows reports whether the multiset formed by the given rows of t
+// is l-eligible.
+func IsEligibleRows(t *table.Table, rows []int, l int) bool {
+	return IsEligibleHistogram(t.SAHistogramOf(rows), l)
+}
+
+// IsEligibleTable reports whether the whole table is l-eligible. By Lemma 1
+// (monotonicity) this is a necessary and sufficient condition for an
+// l-diverse generalization of the table to exist.
+func IsEligibleTable(t *table.Table, l int) bool {
+	return IsEligibleHistogram(t.SAHistogram(), l)
+}
+
+// IsLDiversePartition reports whether every group of the partition (given as
+// row-index groups covering the table) is l-eligible, i.e. whether the
+// generalization the partition defines is l-diverse.
+func IsLDiversePartition(t *table.Table, groups [][]int, l int) bool {
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		if !IsEligibleRows(t, g, l) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsKAnonymousPartition reports whether every non-empty group of the
+// partition has at least k rows.
+func IsKAnonymousPartition(groups [][]int, k int) bool {
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		if len(g) < k {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxEligibleL returns the largest l for which the table is l-eligible
+// (n / h(T) using integer division), or 0 for an empty table. Anonymization
+// with any l up to this value is feasible.
+func MaxEligibleL(t *table.Table) int {
+	h := MaxFrequency(t.SAHistogram())
+	if h == 0 {
+		return 0
+	}
+	return t.Len() / h
+}
+
+// CoversTable reports whether the groups form a partition of the table's rows:
+// every row index in [0, n) appears in exactly one group.
+func CoversTable(t *table.Table, groups [][]int) bool {
+	seen := make([]bool, t.Len())
+	count := 0
+	for _, g := range groups {
+		for _, r := range g {
+			if r < 0 || r >= t.Len() || seen[r] {
+				return false
+			}
+			seen[r] = true
+			count++
+		}
+	}
+	return count == t.Len()
+}

@@ -1,0 +1,140 @@
+package eligibility
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ldiv/internal/table"
+)
+
+func smallTable(t *testing.T, saValues []int) *table.Table {
+	t.Helper()
+	tbl := table.New(table.MustSchema(
+		[]*table.Attribute{table.NewIntegerAttribute("A", 4)},
+		table.NewIntegerAttribute("S", 10)))
+	for i, v := range saValues {
+		tbl.MustAppendRow([]int{i % 4}, v)
+	}
+	return tbl
+}
+
+func TestMaxFrequency(t *testing.T) {
+	if MaxFrequency(nil) != 0 {
+		t.Error("empty histogram should have max frequency 0")
+	}
+	if got := MaxFrequency(map[int]int{1: 3, 2: 5, 3: 1}); got != 5 {
+		t.Errorf("MaxFrequency = %d, want 5", got)
+	}
+}
+
+func TestIsEligibleHistogram(t *testing.T) {
+	cases := []struct {
+		hist map[int]int
+		l    int
+		want bool
+	}{
+		{map[int]int{}, 3, true},
+		{map[int]int{1: 1}, 1, true},
+		{map[int]int{1: 1}, 2, false},
+		{map[int]int{1: 1, 2: 1}, 2, true},
+		{map[int]int{1: 2, 2: 1}, 2, false},
+		{map[int]int{1: 2, 2: 2}, 2, true},
+		{map[int]int{1: 2, 2: 1, 3: 1}, 2, true},
+		{map[int]int{1: 3, 2: 3, 3: 3}, 3, true},
+		{map[int]int{1: 4, 2: 3, 3: 3}, 3, false},
+	}
+	for i, c := range cases {
+		if got := IsEligibleHistogram(c.hist, c.l); got != c.want {
+			t.Errorf("case %d: IsEligibleHistogram(%v, %d) = %v, want %v", i, c.hist, c.l, got, c.want)
+		}
+	}
+}
+
+func TestTableEligibility(t *testing.T) {
+	tbl := smallTable(t, []int{0, 0, 1, 2})
+	if !IsEligibleTable(tbl, 2) {
+		t.Error("table should be 2-eligible")
+	}
+	if IsEligibleTable(tbl, 3) {
+		t.Error("table should not be 3-eligible")
+	}
+	if got := MaxEligibleL(tbl); got != 2 {
+		t.Errorf("MaxEligibleL = %d, want 2", got)
+	}
+	if !IsEligibleRows(tbl, []int{2, 3}, 2) {
+		t.Error("rows {2,3} should be 2-eligible")
+	}
+	if IsEligibleRows(tbl, []int{0, 1}, 2) {
+		t.Error("rows {0,1} share one SA value and cannot be 2-eligible")
+	}
+}
+
+func TestPartitionPredicates(t *testing.T) {
+	tbl := smallTable(t, []int{0, 1, 0, 1, 2, 3})
+	good := [][]int{{0, 1}, {2, 3}, {4, 5}}
+	bad := [][]int{{0, 2}, {1, 3}, {4, 5}}
+	if !IsLDiversePartition(tbl, good, 2) {
+		t.Error("good partition rejected")
+	}
+	if IsLDiversePartition(tbl, bad, 2) {
+		t.Error("bad partition accepted")
+	}
+	if !IsKAnonymousPartition(good, 2) || IsKAnonymousPartition([][]int{{1}}, 2) {
+		t.Error("k-anonymity predicate wrong")
+	}
+	if !CoversTable(tbl, good) {
+		t.Error("good partition should cover the table")
+	}
+	if CoversTable(tbl, [][]int{{0, 1}}) {
+		t.Error("partial partition reported as covering")
+	}
+	if CoversTable(tbl, [][]int{{0, 0, 1, 2, 3, 4, 5}}) {
+		t.Error("duplicate row accepted as covering")
+	}
+}
+
+// Property (Lemma 1, monotonicity): the union of two disjoint l-eligible row
+// sets is l-eligible.
+func TestMonotonicityQuick(t *testing.T) {
+	f := func(seed int64, lRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := int(lRaw%4) + 2
+		build := func() map[int]int {
+			h := make(map[int]int)
+			// Build an l-eligible histogram directly: k distinct values each
+			// with a bounded count such that total >= l*max.
+			k := l + rng.Intn(4)
+			max := 1 + rng.Intn(3)
+			for v := 0; v < k; v++ {
+				h[v] = 1 + rng.Intn(max)
+			}
+			// Pad the least frequent values until eligible.
+			for !IsEligibleHistogram(h, l) {
+				minV := 0
+				for v := range h {
+					if h[v] < h[minV] {
+						minV = v
+					}
+				}
+				h[minV]++
+			}
+			return h
+		}
+		h1, h2 := build(), build()
+		if !IsEligibleHistogram(h1, l) || !IsEligibleHistogram(h2, l) {
+			return false
+		}
+		union := make(map[int]int)
+		for v, c := range h1 {
+			union[v] += c
+		}
+		for v, c := range h2 {
+			union[v] += c
+		}
+		return IsEligibleHistogram(union, l)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,114 @@
+package eligibility
+
+import (
+	"math"
+
+	"ldiv/internal/table"
+)
+
+// This file implements the additional SA-aware anonymization principles the
+// paper surveys in Section 2, so that published partitions can be audited
+// against stronger (or differently shaped) requirements than frequency-based
+// l-diversity: entropy l-diversity and recursive (c,l)-diversity from
+// Machanavajjhala et al. [31], and (alpha,k)-anonymity from Wong et al. [46].
+
+// EntropyLDiversity reports whether every group of the partition has entropy
+// at least log(l): -sum p_v log p_v >= log l, where p_v is the fraction of the
+// group's tuples with sensitive value v. Entropy l-diversity is strictly
+// stronger than frequency-based l-diversity.
+func EntropyLDiversity(t *table.Table, groups [][]int, l int) bool {
+	if l <= 1 {
+		return true
+	}
+	threshold := math.Log(float64(l))
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		hist := t.SAHistogramOf(g)
+		entropy := 0.0
+		for _, c := range hist {
+			p := float64(c) / float64(len(g))
+			entropy -= p * math.Log(p)
+		}
+		if entropy+1e-12 < threshold {
+			return false
+		}
+	}
+	return true
+}
+
+// RecursiveCLDiversity reports whether every group satisfies recursive
+// (c,l)-diversity: with the sensitive-value counts of the group sorted in
+// non-increasing order r_1 >= r_2 >= ..., it requires
+// r_1 < c * (r_l + r_{l+1} + ... + r_m). Groups with fewer than l distinct
+// sensitive values fail.
+func RecursiveCLDiversity(t *table.Table, groups [][]int, c float64, l int) bool {
+	if l <= 1 {
+		return true
+	}
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		hist := t.SAHistogramOf(g)
+		if len(hist) < l {
+			return false
+		}
+		counts := make([]int, 0, len(hist))
+		for _, cnt := range hist {
+			counts = append(counts, cnt)
+		}
+		// Sort descending (insertion sort; histograms are tiny).
+		for i := 1; i < len(counts); i++ {
+			for j := i; j > 0 && counts[j] > counts[j-1]; j-- {
+				counts[j], counts[j-1] = counts[j-1], counts[j]
+			}
+		}
+		tail := 0
+		for i := l - 1; i < len(counts); i++ {
+			tail += counts[i]
+		}
+		if float64(counts[0]) >= c*float64(tail) {
+			return false
+		}
+	}
+	return true
+}
+
+// AlphaKAnonymity reports whether the partition satisfies (alpha,k)-anonymity
+// (Wong et al. [46]): every non-empty group has at least k tuples and no
+// sensitive value accounts for more than an alpha fraction of any group.
+func AlphaKAnonymity(t *table.Table, groups [][]int, alpha float64, k int) bool {
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		if len(g) < k {
+			return false
+		}
+		hist := t.SAHistogramOf(g)
+		limit := alpha * float64(len(g))
+		for _, c := range hist {
+			if float64(c) > limit+1e-12 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// DistinctLDiversity reports whether every group contains at least l distinct
+// sensitive values — the weakest of the l-diversity interpretations, implied
+// by the frequency-based definition the paper uses.
+func DistinctLDiversity(t *table.Table, groups [][]int, l int) bool {
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		if len(t.SAHistogramOf(g)) < l {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,336 @@
+// Package generalize implements partitions, QI-groups and the generalization
+// operators of the paper: suppression (Definition 1), and the
+// single-/multi-dimensional generalized views discussed in Section 2. It also
+// provides the information-loss counters used by Problems 1 and 2
+// (number of stars, number of suppressed tuples).
+package generalize
+
+import (
+	"fmt"
+	"sort"
+
+	"ldiv/internal/table"
+)
+
+// Partition is a partition of a table's rows into QI-groups, each group being
+// a list of row indices. A partition defines a generalization (Definition 1).
+type Partition struct {
+	Groups [][]int
+}
+
+// NewPartition builds a partition from row-index groups. Empty groups are
+// dropped; group contents are copied.
+func NewPartition(groups [][]int) *Partition {
+	out := make([][]int, 0, len(groups))
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		cp := make([]int, len(g))
+		copy(cp, g)
+		out = append(out, cp)
+	}
+	return &Partition{Groups: out}
+}
+
+// Validate checks that the partition covers every row of t exactly once.
+func (p *Partition) Validate(t *table.Table) error {
+	seen := make([]bool, t.Len())
+	count := 0
+	for gi, g := range p.Groups {
+		for _, r := range g {
+			if r < 0 || r >= t.Len() {
+				return fmt.Errorf("generalize: group %d references row %d outside [0,%d)", gi, r, t.Len())
+			}
+			if seen[r] {
+				return fmt.Errorf("generalize: row %d appears in more than one group", r)
+			}
+			seen[r] = true
+			count++
+		}
+	}
+	if count != t.Len() {
+		return fmt.Errorf("generalize: partition covers %d of %d rows", count, t.Len())
+	}
+	return nil
+}
+
+// Size returns the number of non-empty groups.
+func (p *Partition) Size() int { return len(p.Groups) }
+
+// CellKind distinguishes the three forms a published QI value can take.
+type CellKind int
+
+const (
+	// CellExact publishes the original value.
+	CellExact CellKind = iota
+	// CellStar publishes a suppressed value ('*').
+	CellStar
+	// CellSet publishes a sub-domain (a set of possible values), as produced
+	// by single- or multi-dimensional generalization.
+	CellSet
+)
+
+// Cell is one published QI value.
+type Cell struct {
+	Kind  CellKind
+	Value int   // valid when Kind == CellExact
+	Set   []int // valid when Kind == CellSet; sorted, deduplicated codes
+}
+
+// IsStar reports whether the cell is suppressed.
+func (c Cell) IsStar() bool { return c.Kind == CellStar }
+
+// Width returns the number of original values the cell may represent, given
+// the attribute's domain cardinality. Exact cells have width 1, stars the
+// full domain, set cells the size of their sub-domain.
+func (c Cell) Width(domainCardinality int) int {
+	switch c.Kind {
+	case CellExact:
+		return 1
+	case CellStar:
+		return domainCardinality
+	default:
+		return len(c.Set)
+	}
+}
+
+// Covers reports whether the cell can represent the original value code.
+func (c Cell) Covers(code int) bool {
+	switch c.Kind {
+	case CellExact:
+		return c.Value == code
+	case CellStar:
+		return true
+	default:
+		i := sort.SearchInts(c.Set, code)
+		return i < len(c.Set) && c.Set[i] == code
+	}
+}
+
+// Label renders the cell using the attribute's dictionary.
+func (c Cell) Label(a *table.Attribute) string {
+	switch c.Kind {
+	case CellExact:
+		return a.Label(c.Value)
+	case CellStar:
+		return "*"
+	default:
+		if len(c.Set) == a.Cardinality() {
+			return "*"
+		}
+		s := "{"
+		for i, v := range c.Set {
+			if i > 0 {
+				s += ","
+			}
+			s += a.Label(v)
+		}
+		return s + "}"
+	}
+}
+
+// Generalized is a published table T*: the original rows (SA values retained)
+// with each QI value replaced by a Cell, plus the partition that produced it.
+type Generalized struct {
+	Source    *table.Table
+	Partition *Partition
+	Cells     [][]Cell // Cells[row][qiColumn]
+}
+
+// Suppress applies Definition 1: for each QI-group, an attribute keeps its
+// value if all tuples in the group agree on it, and is replaced by a star
+// otherwise. SA values are retained.
+func Suppress(t *table.Table, p *Partition) (*Generalized, error) {
+	if err := p.Validate(t); err != nil {
+		return nil, err
+	}
+	d := t.Dimensions()
+	cells := make([][]Cell, t.Len())
+	for i := range cells {
+		cells[i] = make([]Cell, d)
+	}
+	for _, g := range p.Groups {
+		for j := 0; j < d; j++ {
+			same := true
+			first := t.QIValue(g[0], j)
+			for _, r := range g[1:] {
+				if t.QIValue(r, j) != first {
+					same = false
+					break
+				}
+			}
+			for _, r := range g {
+				if same {
+					cells[r][j] = Cell{Kind: CellExact, Value: first}
+				} else {
+					cells[r][j] = Cell{Kind: CellStar}
+				}
+			}
+		}
+	}
+	return &Generalized{Source: t, Partition: p, Cells: cells}, nil
+}
+
+// MultiDimensional builds the multi-dimensional generalization induced by a
+// partition: each attribute of each group publishes the minimal sub-domain
+// (set of values) covering the group's original values. A single-valued
+// sub-domain is published as an exact value (Section 6.2's observation that
+// replacing every star with the group's value set never loses information
+// relative to suppression).
+func MultiDimensional(t *table.Table, p *Partition) (*Generalized, error) {
+	if err := p.Validate(t); err != nil {
+		return nil, err
+	}
+	d := t.Dimensions()
+	cells := make([][]Cell, t.Len())
+	for i := range cells {
+		cells[i] = make([]Cell, d)
+	}
+	for _, g := range p.Groups {
+		for j := 0; j < d; j++ {
+			set := make(map[int]bool)
+			for _, r := range g {
+				set[t.QIValue(r, j)] = true
+			}
+			var cell Cell
+			if len(set) == 1 {
+				cell = Cell{Kind: CellExact, Value: t.QIValue(g[0], j)}
+			} else {
+				vals := make([]int, 0, len(set))
+				for v := range set {
+					vals = append(vals, v)
+				}
+				sort.Ints(vals)
+				cell = Cell{Kind: CellSet, Set: vals}
+			}
+			for _, r := range g {
+				cells[r][j] = cell
+			}
+		}
+	}
+	return &Generalized{Source: t, Partition: p, Cells: cells}, nil
+}
+
+// FromCells builds a Generalized directly from per-row cells, for algorithms
+// (such as single-dimensional generalization) that do not naturally produce a
+// row partition. The partition is recovered by grouping rows with identical
+// published cells.
+func FromCells(t *table.Table, cells [][]Cell) (*Generalized, error) {
+	if len(cells) != t.Len() {
+		return nil, fmt.Errorf("generalize: %d cell rows for %d table rows", len(cells), t.Len())
+	}
+	keyOf := func(row []Cell) string {
+		s := ""
+		for _, c := range row {
+			switch c.Kind {
+			case CellExact:
+				s += fmt.Sprintf("e%d|", c.Value)
+			case CellStar:
+				s += "*|"
+			default:
+				s += "s"
+				for _, v := range c.Set {
+					s += fmt.Sprintf("%d.", v)
+				}
+				s += "|"
+			}
+		}
+		return s
+	}
+	byKey := make(map[string][]int)
+	for i, row := range cells {
+		if len(row) != t.Dimensions() {
+			return nil, fmt.Errorf("generalize: row %d has %d cells, expected %d", i, len(row), t.Dimensions())
+		}
+		k := keyOf(row)
+		byKey[k] = append(byKey[k], i)
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	groups := make([][]int, 0, len(keys))
+	for _, k := range keys {
+		groups = append(groups, byKey[k])
+	}
+	return &Generalized{Source: t, Partition: NewPartition(groups), Cells: cells}, nil
+}
+
+// Stars returns the number of suppressed QI values in the published table
+// (the objective of Problem 1). CellSet cells narrower than the full domain
+// count as zero stars; a CellSet equal to the whole domain counts as one star
+// for that position, matching the intuition that it retains no information.
+func (g *Generalized) Stars() int {
+	stars := 0
+	for i, row := range g.Cells {
+		_ = i
+		for j, c := range row {
+			switch c.Kind {
+			case CellStar:
+				stars++
+			case CellSet:
+				if len(c.Set) >= g.Source.Schema().QI(j).Cardinality() {
+					stars++
+				}
+			}
+		}
+	}
+	return stars
+}
+
+// SuppressedTuples returns the number of rows with at least one star
+// (the objective of Problem 2).
+func (g *Generalized) SuppressedTuples() int {
+	count := 0
+	for _, row := range g.Cells {
+		for _, c := range row {
+			if c.Kind == CellStar {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
+// StarsForPartition counts, without materializing cells, the number of stars
+// the suppression generalization of partition p would contain.
+func StarsForPartition(t *table.Table, p *Partition) int {
+	stars := 0
+	d := t.Dimensions()
+	for _, g := range p.Groups {
+		for j := 0; j < d; j++ {
+			first := t.QIValue(g[0], j)
+			for _, r := range g[1:] {
+				if t.QIValue(r, j) != first {
+					stars += len(g)
+					break
+				}
+			}
+		}
+	}
+	return stars
+}
+
+// GroupLabel renders a human-readable listing of a generalized table.
+func (g *Generalized) String() string {
+	s := ""
+	sch := g.Source.Schema()
+	limit := g.Source.Len()
+	const maxRows = 50
+	if limit > maxRows {
+		limit = maxRows
+	}
+	for i := 0; i < limit; i++ {
+		for j := 0; j < g.Source.Dimensions(); j++ {
+			s += g.Cells[i][j].Label(sch.QI(j)) + "\t"
+		}
+		s += g.Source.SALabel(i) + "\n"
+	}
+	if g.Source.Len() > maxRows {
+		s += fmt.Sprintf("... (%d more rows)\n", g.Source.Len()-maxRows)
+	}
+	return s
+}

@@ -1,0 +1,91 @@
+// Package matching provides a minimum-cost perfect bipartite matching solver
+// (the Hungarian algorithm) and, on top of it, the exact polynomial-time
+// algorithm for optimal 2-diverse suppression when the microdata has exactly
+// two distinct sensitive values (Section 4 of the paper).
+package matching
+
+import (
+	"fmt"
+	"math"
+)
+
+// Hungarian solves the assignment problem: given an n x n cost matrix, it
+// returns an assignment of rows to columns minimizing the total cost, and the
+// total cost. It runs in O(n^3) time (the Jonker-Volgenant style potentials
+// formulation of the Hungarian algorithm).
+func Hungarian(cost [][]float64) (assignment []int, total float64, err error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	for i, row := range cost {
+		if len(row) != n {
+			return nil, 0, fmt.Errorf("matching: cost row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+	const inf = math.MaxFloat64 / 4
+	// 1-based arrays per the classical implementation.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1)   // p[j] = row assigned to column j
+	way := make([]int, n+1) // way[j] = previous column on the augmenting path
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+			if j0 == 0 {
+				break
+			}
+		}
+	}
+	assignment = make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			assignment[p[j]-1] = j - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		total += cost[i][assignment[i]]
+	}
+	return assignment, total, nil
+}

@@ -1,0 +1,165 @@
+// Package metrics implements the information-loss measures of the paper's
+// evaluation: the number of stars (Problem 1), the number of suppressed
+// tuples (Problem 2), the KL-divergence between the distribution induced by a
+// generalized table and the microdata distribution (Equation 2, Section 6.2),
+// and auxiliary statistics such as the discernibility penalty and average
+// group size.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"ldiv/internal/generalize"
+	"ldiv/internal/table"
+)
+
+// Stars returns the number of stars in a generalized table.
+func Stars(g *generalize.Generalized) int { return g.Stars() }
+
+// SuppressedTuples returns the number of rows with at least one star.
+func SuppressedTuples(g *generalize.Generalized) int { return g.SuppressedTuples() }
+
+// AverageGroupSize returns the mean QI-group size of a partition.
+func AverageGroupSize(p *generalize.Partition) float64 {
+	if p.Size() == 0 {
+		return 0
+	}
+	total := 0
+	for _, g := range p.Groups {
+		total += len(g)
+	}
+	return float64(total) / float64(p.Size())
+}
+
+// Discernibility returns the discernibility penalty: the sum over QI-groups
+// of the squared group size. Smaller is better.
+func Discernibility(p *generalize.Partition) int {
+	total := 0
+	for _, g := range p.Groups {
+		total += len(g) * len(g)
+	}
+	return total
+}
+
+// KLDivergence computes KL(f, f*) of Equation 2: f is the empirical
+// distribution of the microdata over the (d+1)-dimensional space of QI and SA
+// values; f* is the distribution induced by the generalized table, where a
+// star (or sub-domain) spreads a tuple's mass uniformly over the attribute's
+// domain (or the sub-domain). Cells always cover the original values, so
+// f*(p) > 0 wherever f(p) > 0 and the divergence is finite.
+func KLDivergence(g *generalize.Generalized) (float64, error) {
+	t := g.Source
+	n := t.Len()
+	if n == 0 {
+		return 0, nil
+	}
+	sch := t.Schema()
+
+	// Empirical distribution f over distinct (QI..., SA) points.
+	type point struct {
+		key string
+		row int // representative row
+		cnt int
+	}
+	counts := make(map[string]*point)
+	for r := 0; r < n; r++ {
+		k := t.QIKey(r) + "|" + fmt.Sprint(t.SAValue(r))
+		if p, ok := counts[k]; ok {
+			p.cnt++
+		} else {
+			counts[k] = &point{key: k, row: r, cnt: 1}
+		}
+	}
+
+	// Split the partition's groups into "exact" groups (no star, no set:
+	// they only cover their own QI point) and "general" groups.
+	type generalGroup struct {
+		cells []generalize.Cell
+		saCnt map[int]int
+		mass  float64 // product of 1/width over QI attributes
+	}
+	exactBySig := make(map[string]map[int]int) // QI key -> SA histogram (summed over exact groups)
+	var generals []generalGroup
+	for _, rows := range g.Partition.Groups {
+		if len(rows) == 0 {
+			continue
+		}
+		cells := g.Cells[rows[0]]
+		allExact := true
+		for _, c := range cells {
+			if c.Kind != generalize.CellExact {
+				allExact = false
+				break
+			}
+		}
+		saCnt := t.SAHistogramOf(rows)
+		if allExact {
+			sig := ""
+			for j, c := range cells {
+				if j > 0 {
+					sig += ","
+				}
+				sig += fmt.Sprint(c.Value)
+			}
+			hist := exactBySig[sig]
+			if hist == nil {
+				hist = make(map[int]int)
+				exactBySig[sig] = hist
+			}
+			for v, c := range saCnt {
+				hist[v] += c
+			}
+			continue
+		}
+		mass := 1.0
+		for j, c := range cells {
+			mass /= float64(c.Width(sch.QI(j).Cardinality()))
+		}
+		generals = append(generals, generalGroup{cells: cells, saCnt: saCnt, mass: mass})
+	}
+
+	kl := 0.0
+	for _, p := range counts {
+		f := float64(p.cnt) / float64(n)
+		// f*(point): contribution of exact groups with the same QI signature
+		// plus contribution of every general group covering the point.
+		fstar := 0.0
+		sig := t.QIKey(p.row)
+		sa := t.SAValue(p.row)
+		if hist, ok := exactBySig[sig]; ok {
+			fstar += float64(hist[sa]) / float64(n)
+		}
+		for _, gg := range generals {
+			cnt := gg.saCnt[sa]
+			if cnt == 0 {
+				continue
+			}
+			covered := true
+			for j, c := range gg.cells {
+				if !c.Covers(t.QIValue(p.row, j)) {
+					covered = false
+					break
+				}
+			}
+			if covered {
+				fstar += float64(cnt) / float64(n) * gg.mass
+			}
+		}
+		if fstar <= 0 {
+			return 0, fmt.Errorf("metrics: induced distribution assigns zero mass to an observed point; the generalization does not cover the microdata")
+		}
+		kl += f * math.Log(f/fstar)
+	}
+	return kl, nil
+}
+
+// KLDivergenceOfPartition is a convenience wrapper: it applies suppression to
+// the partition and measures the KL-divergence of the result.
+func KLDivergenceOfPartition(t *table.Table, p *generalize.Partition) (float64, error) {
+	g, err := generalize.Suppress(t, p)
+	if err != nil {
+		return 0, err
+	}
+	return KLDivergence(g)
+}

@@ -1,0 +1,216 @@
+// Package query evaluates the analytical utility of a published table with
+// aggregate count queries, the workload style used throughout the
+// anonymization literature the paper builds on (e.g. [16, 23, 51]): a count
+// query selects tuples by ranges/sets of QI values and optionally a set of
+// sensitive values, and the published (generalized) table answers it under
+// the uniformity assumption — a generalized cell spreads a tuple's mass
+// evenly over the values it may represent, exactly the interpretation behind
+// the KL-divergence metric of Section 6.2.
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ldiv/internal/generalize"
+	"ldiv/internal/table"
+)
+
+// Query is a conjunctive count query. Each entry of QIPredicates constrains
+// one QI attribute (by column index) to a set of accepted codes; SAPredicate,
+// if non-empty, constrains the sensitive attribute. A tuple is counted when
+// it satisfies every predicate.
+type Query struct {
+	QIPredicates map[int][]int
+	SAPredicate  []int
+}
+
+// normalize sorts predicate code lists so membership tests can use binary
+// search regardless of how the query was constructed.
+func (q *Query) normalize() {
+	for _, codes := range q.QIPredicates {
+		sort.Ints(codes)
+	}
+	sort.Ints(q.SAPredicate)
+}
+
+func contains(sorted []int, v int) bool {
+	i := sort.SearchInts(sorted, v)
+	return i < len(sorted) && sorted[i] == v
+}
+
+// CountExact answers the query on the microdata.
+func (q *Query) CountExact(t *table.Table) int {
+	q.normalize()
+	count := 0
+	for i := 0; i < t.Len(); i++ {
+		if q.matchesRow(t, i) {
+			count++
+		}
+	}
+	return count
+}
+
+func (q *Query) matchesRow(t *table.Table, i int) bool {
+	for col, codes := range q.QIPredicates {
+		if !contains(codes, t.QIValue(i, col)) {
+			return false
+		}
+	}
+	if len(q.SAPredicate) > 0 && !contains(q.SAPredicate, t.SAValue(i)) {
+		return false
+	}
+	return true
+}
+
+// Estimate answers the query on a published table under the uniformity
+// assumption: a published cell that may represent w values, of which k
+// satisfy the predicate, contributes k/w of the tuple to the count.
+// Sensitive values are published exactly and therefore filtered exactly.
+func (q *Query) Estimate(g *generalize.Generalized) float64 {
+	q.normalize()
+	t := g.Source
+	sch := t.Schema()
+	total := 0.0
+	for i := 0; i < t.Len(); i++ {
+		if len(q.SAPredicate) > 0 && !contains(q.SAPredicate, t.SAValue(i)) {
+			continue
+		}
+		p := 1.0
+		for col, codes := range q.QIPredicates {
+			cell := g.Cells[i][col]
+			card := sch.QI(col).Cardinality()
+			switch cell.Kind {
+			case generalize.CellExact:
+				if !contains(codes, cell.Value) {
+					p = 0
+				}
+			case generalize.CellStar:
+				p *= float64(len(codes)) / float64(card)
+			case generalize.CellSet:
+				k := 0
+				for _, v := range cell.Set {
+					if contains(codes, v) {
+						k++
+					}
+				}
+				p *= float64(k) / float64(len(cell.Set))
+			}
+			if p == 0 {
+				break
+			}
+		}
+		total += p
+	}
+	return total
+}
+
+// Workload is a set of count queries.
+type Workload struct {
+	Queries []Query
+}
+
+// RandomWorkload generates count queries against t's schema: each query
+// constrains `dims` randomly chosen QI attributes to a random contiguous
+// range covering roughly `selectivity` of the attribute's domain, plus the
+// sensitive attribute with the same selectivity. It mirrors the random
+// range-count workloads used by the utility evaluations the paper cites.
+func RandomWorkload(t *table.Table, queries, dims int, selectivity float64, seed int64) (*Workload, error) {
+	if queries <= 0 {
+		return nil, fmt.Errorf("query: workload needs a positive number of queries")
+	}
+	d := t.Dimensions()
+	if dims < 1 || dims > d {
+		return nil, fmt.Errorf("query: dims must be in [1,%d], got %d", d, dims)
+	}
+	if selectivity <= 0 || selectivity > 1 {
+		return nil, fmt.Errorf("query: selectivity must be in (0,1], got %g", selectivity)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	w := &Workload{}
+	for qi := 0; qi < queries; qi++ {
+		q := Query{QIPredicates: make(map[int][]int)}
+		cols := rng.Perm(d)[:dims]
+		for _, col := range cols {
+			q.QIPredicates[col] = randomRange(rng, t.Schema().QI(col).Cardinality(), selectivity)
+		}
+		q.SAPredicate = randomRange(rng, t.Schema().SA().Cardinality(), selectivity)
+		w.Queries = append(w.Queries, q)
+	}
+	return w, nil
+}
+
+// randomRange picks a contiguous code range covering about `fraction` of a
+// domain with the given cardinality (at least one value).
+func randomRange(rng *rand.Rand, cardinality int, fraction float64) []int {
+	width := int(float64(cardinality)*fraction + 0.5)
+	if width < 1 {
+		width = 1
+	}
+	if width > cardinality {
+		width = cardinality
+	}
+	start := 0
+	if cardinality > width {
+		start = rng.Intn(cardinality - width + 1)
+	}
+	codes := make([]int, width)
+	for i := range codes {
+		codes[i] = start + i
+	}
+	return codes
+}
+
+// Evaluation aggregates the error of a workload on a published table.
+type Evaluation struct {
+	// Exact[i] and Estimated[i] are the true and estimated answers of query i.
+	Exact     []int
+	Estimated []float64
+	// RelativeErrors[i] = |estimated - exact| / max(exact, sanity), where the
+	// sanity bound (0.5% of the table, at least 1) avoids division blow-ups on
+	// near-empty queries, following common practice in the literature.
+	RelativeErrors []float64
+	// MeanRelativeError and MedianRelativeError summarize RelativeErrors.
+	MeanRelativeError   float64
+	MedianRelativeError float64
+}
+
+// Evaluate answers every query of the workload both exactly (on the
+// microdata) and on the published table, and summarizes the relative error.
+func Evaluate(g *generalize.Generalized, w *Workload) (*Evaluation, error) {
+	if len(w.Queries) == 0 {
+		return nil, fmt.Errorf("query: empty workload")
+	}
+	t := g.Source
+	sanity := float64(t.Len()) * 0.005
+	if sanity < 1 {
+		sanity = 1
+	}
+	ev := &Evaluation{}
+	for i := range w.Queries {
+		q := &w.Queries[i]
+		exact := q.CountExact(t)
+		est := q.Estimate(g)
+		ev.Exact = append(ev.Exact, exact)
+		ev.Estimated = append(ev.Estimated, est)
+		denom := float64(exact)
+		if denom < sanity {
+			denom = sanity
+		}
+		err := est - float64(exact)
+		if err < 0 {
+			err = -err
+		}
+		ev.RelativeErrors = append(ev.RelativeErrors, err/denom)
+	}
+	sorted := append([]float64(nil), ev.RelativeErrors...)
+	sort.Float64s(sorted)
+	ev.MedianRelativeError = sorted[len(sorted)/2]
+	total := 0.0
+	for _, e := range ev.RelativeErrors {
+		total += e
+	}
+	ev.MeanRelativeError = total / float64(len(ev.RelativeErrors))
+	return ev, nil
+}

@@ -1,0 +1,88 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// ReadCSV reads a microdata table from CSV. The first record must be a header
+// naming every column. qiColumns selects (in order) the columns to treat as
+// QI attributes; saColumn names the sensitive attribute. Other columns are
+// ignored. Every value is treated as a categorical label.
+func ReadCSV(r io.Reader, qiColumns []string, saColumn string) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading CSV header: %w", err)
+	}
+	colIdx := make(map[string]int, len(header))
+	for i, name := range header {
+		colIdx[name] = i
+	}
+	qiIdx := make([]int, len(qiColumns))
+	qiAttrs := make([]*Attribute, len(qiColumns))
+	for i, name := range qiColumns {
+		idx, ok := colIdx[name]
+		if !ok {
+			return nil, fmt.Errorf("table: CSV has no column %q", name)
+		}
+		qiIdx[i] = idx
+		qiAttrs[i] = NewAttribute(name)
+	}
+	saIdx, ok := colIdx[saColumn]
+	if !ok {
+		return nil, fmt.Errorf("table: CSV has no column %q", saColumn)
+	}
+	schema, err := NewSchema(qiAttrs, NewAttribute(saColumn))
+	if err != nil {
+		return nil, err
+	}
+	t := New(schema)
+	labels := make([]string, len(qiColumns))
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table: reading CSV line %d: %w", line, err)
+		}
+		for i, idx := range qiIdx {
+			if idx >= len(rec) {
+				return nil, fmt.Errorf("table: CSV line %d has %d fields, need column %d", line, len(rec), idx+1)
+			}
+			labels[i] = rec[idx]
+		}
+		if saIdx >= len(rec) {
+			return nil, fmt.Errorf("table: CSV line %d has %d fields, need column %d", line, len(rec), saIdx+1)
+		}
+		if err := t.AppendLabels(labels, rec[saIdx]); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// WriteCSV writes the table as CSV with a header of the QI attribute names
+// followed by the sensitive attribute name.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	header := append(t.Schema().QINames(), t.Schema().SA().Name())
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("table: writing CSV header: %w", err)
+	}
+	rec := make([]string, t.Dimensions()+1)
+	for i := 0; i < t.Len(); i++ {
+		for j := 0; j < t.Dimensions(); j++ {
+			rec[j] = t.QILabel(i, j)
+		}
+		rec[t.Dimensions()] = t.SALabel(i)
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("table: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

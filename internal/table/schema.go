@@ -1,0 +1,101 @@
+package table
+
+import "fmt"
+
+// Schema describes the columns of a microdata table: d quasi-identifier
+// attributes A1..Ad and one sensitive attribute B (Section 3 of the paper).
+type Schema struct {
+	qi []*Attribute
+	sa *Attribute
+}
+
+// NewSchema builds a schema from the given QI attributes and sensitive
+// attribute. The slice is not copied deeply; attributes are shared so that
+// projections of the same table agree on value codes.
+func NewSchema(qi []*Attribute, sa *Attribute) (*Schema, error) {
+	if sa == nil {
+		return nil, fmt.Errorf("table: schema requires a sensitive attribute")
+	}
+	if len(qi) == 0 {
+		return nil, fmt.Errorf("table: schema requires at least one QI attribute")
+	}
+	seen := make(map[string]bool, len(qi)+1)
+	for _, a := range qi {
+		if a == nil {
+			return nil, fmt.Errorf("table: nil QI attribute")
+		}
+		if seen[a.Name()] {
+			return nil, fmt.Errorf("table: duplicate attribute name %q", a.Name())
+		}
+		seen[a.Name()] = true
+	}
+	if seen[sa.Name()] {
+		return nil, fmt.Errorf("table: sensitive attribute %q collides with a QI attribute", sa.Name())
+	}
+	cp := make([]*Attribute, len(qi))
+	copy(cp, qi)
+	return &Schema{qi: cp, sa: sa}, nil
+}
+
+// MustSchema is like NewSchema but panics on error. It is intended for
+// tests, examples and generators with statically known-good inputs.
+func MustSchema(qi []*Attribute, sa *Attribute) *Schema {
+	s, err := NewSchema(qi, sa)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Dimensions returns d, the number of QI attributes.
+func (s *Schema) Dimensions() int { return len(s.qi) }
+
+// QI returns the i-th QI attribute (0-based).
+func (s *Schema) QI(i int) *Attribute { return s.qi[i] }
+
+// QIAttributes returns a copy of the QI attribute slice.
+func (s *Schema) QIAttributes() []*Attribute {
+	out := make([]*Attribute, len(s.qi))
+	copy(out, s.qi)
+	return out
+}
+
+// SA returns the sensitive attribute.
+func (s *Schema) SA() *Attribute { return s.sa }
+
+// QIIndex returns the position of the QI attribute with the given name,
+// or -1 if no such attribute exists.
+func (s *Schema) QIIndex(name string) int {
+	for i, a := range s.qi {
+		if a.Name() == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// QINames returns the QI attribute names in column order.
+func (s *Schema) QINames() []string {
+	out := make([]string, len(s.qi))
+	for i, a := range s.qi {
+		out[i] = a.Name()
+	}
+	return out
+}
+
+// Project returns a new schema containing only the QI attributes at the given
+// column positions (in the given order) and the same sensitive attribute.
+// The underlying attributes are shared, so codes remain comparable.
+func (s *Schema) Project(cols []int) (*Schema, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("table: projection needs at least one QI column")
+	}
+	qi := make([]*Attribute, 0, len(cols))
+	for _, c := range cols {
+		if c < 0 || c >= len(s.qi) {
+			return nil, fmt.Errorf("table: projection column %d out of range [0,%d)", c, len(s.qi))
+		}
+		qi = append(qi, s.qi[c])
+	}
+	return NewSchema(qi, s.sa)
+}

@@ -1,0 +1,289 @@
+package table
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Table is a microdata table T: n rows over a schema with d QI attributes and
+// one sensitive attribute. QI values and SA values are stored as integer
+// codes owned by the schema's attributes.
+//
+// The zero value is not usable; construct tables with New.
+type Table struct {
+	schema *Schema
+	qi     [][]int // qi[row] has length d
+	sa     []int   // sa[row]
+}
+
+// New creates an empty table with the given schema.
+func New(schema *Schema) *Table {
+	return &Table{schema: schema}
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Len returns n, the number of rows.
+func (t *Table) Len() int { return len(t.sa) }
+
+// Dimensions returns d, the number of QI attributes.
+func (t *Table) Dimensions() int { return t.schema.Dimensions() }
+
+// AppendRow adds a row given already-encoded QI codes and SA code. The QI
+// slice is copied. Codes are validated against the attribute domains.
+func (t *Table) AppendRow(qi []int, sa int) error {
+	d := t.schema.Dimensions()
+	if len(qi) != d {
+		return fmt.Errorf("table: row has %d QI values, schema has %d", len(qi), d)
+	}
+	for i, v := range qi {
+		if v < 0 || v >= t.schema.QI(i).Cardinality() {
+			return fmt.Errorf("table: QI value %d out of range for attribute %q (cardinality %d)",
+				v, t.schema.QI(i).Name(), t.schema.QI(i).Cardinality())
+		}
+	}
+	if sa < 0 || sa >= t.schema.SA().Cardinality() {
+		return fmt.Errorf("table: SA value %d out of range for attribute %q (cardinality %d)",
+			sa, t.schema.SA().Name(), t.schema.SA().Cardinality())
+	}
+	row := make([]int, d)
+	copy(row, qi)
+	t.qi = append(t.qi, row)
+	t.sa = append(t.sa, sa)
+	return nil
+}
+
+// MustAppendRow is AppendRow but panics on error; for tests and generators.
+func (t *Table) MustAppendRow(qi []int, sa int) {
+	if err := t.AppendRow(qi, sa); err != nil {
+		panic(err)
+	}
+}
+
+// AppendLabels adds a row given string labels, encoding (and extending the
+// attribute domains) as needed.
+func (t *Table) AppendLabels(qi []string, sa string) error {
+	d := t.schema.Dimensions()
+	if len(qi) != d {
+		return fmt.Errorf("table: row has %d QI labels, schema has %d", len(qi), d)
+	}
+	codes := make([]int, d)
+	for i, lab := range qi {
+		codes[i] = t.schema.QI(i).Encode(lab)
+	}
+	saCode := t.schema.SA().Encode(sa)
+	t.qi = append(t.qi, codes)
+	t.sa = append(t.sa, saCode)
+	return nil
+}
+
+// QIValue returns the code of the j-th QI attribute of row i.
+func (t *Table) QIValue(i, j int) int { return t.qi[i][j] }
+
+// QIRow returns a copy of row i's QI codes.
+func (t *Table) QIRow(i int) []int {
+	out := make([]int, len(t.qi[i]))
+	copy(out, t.qi[i])
+	return out
+}
+
+// SAValue returns the sensitive value code of row i.
+func (t *Table) SAValue(i int) int { return t.sa[i] }
+
+// QILabel returns the label of the j-th QI attribute of row i.
+func (t *Table) QILabel(i, j int) string { return t.schema.QI(j).Label(t.qi[i][j]) }
+
+// SALabel returns the sensitive label of row i.
+func (t *Table) SALabel(i int) string { return t.schema.SA().Label(t.sa[i]) }
+
+// SACardinality returns m, the number of distinct sensitive values that
+// actually appear in the table (which may be smaller than the SA attribute's
+// domain cardinality).
+func (t *Table) SACardinality() int {
+	seen := make(map[int]bool)
+	for _, v := range t.sa {
+		seen[v] = true
+	}
+	return len(seen)
+}
+
+// SAHistogram returns the frequency of each sensitive value code appearing in
+// the table.
+func (t *Table) SAHistogram() map[int]int {
+	h := make(map[int]int)
+	for _, v := range t.sa {
+		h[v]++
+	}
+	return h
+}
+
+// SAHistogramOf returns the frequency of each sensitive value among the rows
+// whose indices are given.
+func (t *Table) SAHistogramOf(rows []int) map[int]int {
+	h := make(map[int]int)
+	for _, r := range rows {
+		h[t.sa[r]]++
+	}
+	return h
+}
+
+// QIKey returns a string key identifying the exact combination of QI values
+// of row i. Rows with equal keys have identical QI values on every attribute.
+func (t *Table) QIKey(i int) string {
+	var b strings.Builder
+	for j, v := range t.qi[i] {
+		if j > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	return b.String()
+}
+
+// GroupByQI partitions row indices into groups of identical QI values. The
+// groups are returned in a deterministic order (by the QI key of their first
+// row in lexicographic order), and rows within a group preserve table order.
+func (t *Table) GroupByQI() [][]int {
+	byKey := make(map[string][]int)
+	for i := range t.sa {
+		k := t.QIKey(i)
+		byKey[k] = append(byKey[k], i)
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, byKey[k])
+	}
+	return out
+}
+
+// Project returns a new table containing only the QI columns given by cols
+// (in that order) plus the sensitive attribute. Row order is preserved and
+// attribute dictionaries are shared with the original table.
+func (t *Table) Project(cols []int) (*Table, error) {
+	ps, err := t.schema.Project(cols)
+	if err != nil {
+		return nil, err
+	}
+	p := New(ps)
+	p.qi = make([][]int, len(t.qi))
+	p.sa = make([]int, len(t.sa))
+	copy(p.sa, t.sa)
+	for i, row := range t.qi {
+		pr := make([]int, len(cols))
+		for j, c := range cols {
+			pr[j] = row[c]
+		}
+		p.qi[i] = pr
+	}
+	return p, nil
+}
+
+// ProjectNames is Project with attribute names instead of column indices.
+func (t *Table) ProjectNames(names []string) (*Table, error) {
+	cols := make([]int, len(names))
+	for i, n := range names {
+		c := t.schema.QIIndex(n)
+		if c < 0 {
+			return nil, fmt.Errorf("table: unknown QI attribute %q", n)
+		}
+		cols[i] = c
+	}
+	return t.Project(cols)
+}
+
+// Sample returns a new table with k rows drawn without replacement using rng.
+// If k >= n the whole table is copied. The schema is shared.
+func (t *Table) Sample(k int, rng *rand.Rand) *Table {
+	n := t.Len()
+	if k > n {
+		k = n
+	}
+	perm := rng.Perm(n)[:k]
+	sort.Ints(perm)
+	out := New(t.schema)
+	out.qi = make([][]int, 0, k)
+	out.sa = make([]int, 0, k)
+	for _, i := range perm {
+		row := make([]int, len(t.qi[i]))
+		copy(row, t.qi[i])
+		out.qi = append(out.qi, row)
+		out.sa = append(out.sa, t.sa[i])
+	}
+	return out
+}
+
+// Subset returns a new table containing only the given row indices, in the
+// given order. The schema is shared.
+func (t *Table) Subset(rows []int) *Table {
+	out := New(t.schema)
+	out.qi = make([][]int, 0, len(rows))
+	out.sa = make([]int, 0, len(rows))
+	for _, i := range rows {
+		row := make([]int, len(t.qi[i]))
+		copy(row, t.qi[i])
+		out.qi = append(out.qi, row)
+		out.sa = append(out.sa, t.sa[i])
+	}
+	return out
+}
+
+// Clone returns a deep copy of the table sharing the same schema.
+func (t *Table) Clone() *Table {
+	rows := make([]int, t.Len())
+	for i := range rows {
+		rows[i] = i
+	}
+	return t.Subset(rows)
+}
+
+// Equal reports whether two tables have the same schema pointer-wise
+// attributes, the same length, and identical codes in every cell.
+func (t *Table) Equal(o *Table) bool {
+	if t.Len() != o.Len() || t.Dimensions() != o.Dimensions() {
+		return false
+	}
+	for i := range t.sa {
+		if t.sa[i] != o.sa[i] {
+			return false
+		}
+		for j := range t.qi[i] {
+			if t.qi[i][j] != o.qi[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders a small table for debugging; large tables are truncated.
+func (t *Table) String() string {
+	var b strings.Builder
+	names := append(t.schema.QINames(), t.schema.SA().Name())
+	b.WriteString(strings.Join(names, "\t"))
+	b.WriteByte('\n')
+	limit := t.Len()
+	const maxRows = 50
+	if limit > maxRows {
+		limit = maxRows
+	}
+	for i := 0; i < limit; i++ {
+		for j := 0; j < t.Dimensions(); j++ {
+			b.WriteString(t.QILabel(i, j))
+			b.WriteByte('\t')
+		}
+		b.WriteString(t.SALabel(i))
+		b.WriteByte('\n')
+	}
+	if t.Len() > maxRows {
+		fmt.Fprintf(&b, "... (%d more rows)\n", t.Len()-maxRows)
+	}
+	return b.String()
+}

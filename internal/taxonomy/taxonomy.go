@@ -1,0 +1,210 @@
+// Package taxonomy provides generalization hierarchies over categorical
+// attribute domains. A hierarchy is a rooted tree whose leaves are the
+// attribute's value codes; internal nodes stand for sub-domains ("coarsened"
+// values) as used by single-dimensional generalization and the TDS baseline.
+package taxonomy
+
+import (
+	"fmt"
+	"sort"
+
+	"ldiv/internal/table"
+)
+
+// Node is one node of a generalization hierarchy. Leaves carry a single value
+// code; internal nodes cover the union of their children's codes.
+type Node struct {
+	// Label is a human-readable name for the sub-domain.
+	Label string
+	// Children is nil for leaves.
+	Children []*Node
+	// Codes is the sorted set of value codes the node covers.
+	Codes []int
+	// Parent is the node's parent, nil for the root.
+	Parent *Node
+}
+
+// IsLeaf reports whether the node covers a single value.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Width returns the number of values covered.
+func (n *Node) Width() int { return len(n.Codes) }
+
+// Hierarchy is a generalization hierarchy for one attribute.
+type Hierarchy struct {
+	Attribute *table.Attribute
+	Root      *Node
+	leafOf    map[int]*Node
+}
+
+// Validate checks that the hierarchy's leaves cover the attribute's domain
+// exactly once.
+func (h *Hierarchy) Validate() error {
+	seen := make(map[int]bool)
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		if n.IsLeaf() {
+			if len(n.Codes) != 1 {
+				return fmt.Errorf("taxonomy: leaf %q covers %d codes", n.Label, len(n.Codes))
+			}
+			c := n.Codes[0]
+			if seen[c] {
+				return fmt.Errorf("taxonomy: code %d appears in more than one leaf", c)
+			}
+			seen[c] = true
+			return nil
+		}
+		union := make(map[int]bool)
+		for _, ch := range n.Children {
+			if err := walk(ch); err != nil {
+				return err
+			}
+			for _, c := range ch.Codes {
+				union[c] = true
+			}
+		}
+		if len(union) != len(n.Codes) {
+			return fmt.Errorf("taxonomy: node %q codes disagree with children", n.Label)
+		}
+		for _, c := range n.Codes {
+			if !union[c] {
+				return fmt.Errorf("taxonomy: node %q covers code %d its children do not", n.Label, c)
+			}
+		}
+		return nil
+	}
+	if err := walk(h.Root); err != nil {
+		return err
+	}
+	if len(seen) != h.Attribute.Cardinality() {
+		return fmt.Errorf("taxonomy: hierarchy covers %d of %d domain values", len(seen), h.Attribute.Cardinality())
+	}
+	return nil
+}
+
+// Leaf returns the leaf node of the given value code.
+func (h *Hierarchy) Leaf(code int) *Node { return h.leafOf[code] }
+
+// buildIndex fills leafOf and parent pointers.
+func (h *Hierarchy) buildIndex() {
+	h.leafOf = make(map[int]*Node)
+	var walk func(n *Node, parent *Node)
+	walk = func(n *Node, parent *Node) {
+		n.Parent = parent
+		if n.IsLeaf() {
+			h.leafOf[n.Codes[0]] = n
+			return
+		}
+		for _, ch := range n.Children {
+			walk(ch, n)
+		}
+	}
+	walk(h.Root, nil)
+}
+
+// NewFlat builds a two-level hierarchy: a root covering the whole domain with
+// one leaf per value. It models an attribute with no meaningful ordering.
+func NewFlat(a *table.Attribute) *Hierarchy {
+	root := &Node{Label: a.Name() + ":*"}
+	for c := 0; c < a.Cardinality(); c++ {
+		leaf := &Node{Label: a.Label(c), Codes: []int{c}}
+		root.Children = append(root.Children, leaf)
+		root.Codes = append(root.Codes, c)
+	}
+	h := &Hierarchy{Attribute: a, Root: root}
+	h.buildIndex()
+	return h
+}
+
+// NewFanout builds a balanced hierarchy over the attribute's codes in code
+// order, where every internal node has at most `fanout` children. It models
+// interval coarsening of an ordered categorical domain (ages, incomes, ...).
+func NewFanout(a *table.Attribute, fanout int) *Hierarchy {
+	if fanout < 2 {
+		fanout = 2
+	}
+	codes := make([]int, a.Cardinality())
+	for i := range codes {
+		codes[i] = i
+	}
+	var build func(codes []int) *Node
+	build = func(codes []int) *Node {
+		if len(codes) == 1 {
+			return &Node{Label: a.Label(codes[0]), Codes: []int{codes[0]}}
+		}
+		n := &Node{Codes: append([]int(nil), codes...)}
+		n.Label = fmt.Sprintf("%s:[%s..%s]", a.Name(), a.Label(codes[0]), a.Label(codes[len(codes)-1]))
+		if len(codes) <= fanout {
+			for _, c := range codes {
+				n.Children = append(n.Children, &Node{Label: a.Label(c), Codes: []int{c}})
+			}
+			return n
+		}
+		chunk := (len(codes) + fanout - 1) / fanout
+		for start := 0; start < len(codes); start += chunk {
+			end := start + chunk
+			if end > len(codes) {
+				end = len(codes)
+			}
+			n.Children = append(n.Children, build(codes[start:end]))
+		}
+		return n
+	}
+	root := build(codes)
+	h := &Hierarchy{Attribute: a, Root: root}
+	h.buildIndex()
+	return h
+}
+
+// NewFromGroups builds a three-level hierarchy from named groups of labels:
+// root -> group nodes -> leaves. Labels not mentioned in any group are placed
+// under an "other" group. Useful for attributes with a natural semantic
+// grouping (e.g. education levels).
+func NewFromGroups(a *table.Attribute, groups map[string][]string) (*Hierarchy, error) {
+	root := &Node{Label: a.Name() + ":*"}
+	assigned := make(map[int]bool)
+	names := make([]string, 0, len(groups))
+	for name := range groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := &Node{Label: name}
+		for _, lab := range groups[name] {
+			code, ok := a.Code(lab)
+			if !ok {
+				return nil, fmt.Errorf("taxonomy: label %q is not in the domain of %q", lab, a.Name())
+			}
+			if assigned[code] {
+				return nil, fmt.Errorf("taxonomy: label %q assigned to more than one group", lab)
+			}
+			assigned[code] = true
+			g.Children = append(g.Children, &Node{Label: lab, Codes: []int{code}})
+			g.Codes = append(g.Codes, code)
+		}
+		sort.Ints(g.Codes)
+		root.Children = append(root.Children, g)
+		root.Codes = append(root.Codes, g.Codes...)
+	}
+	var other *Node
+	for c := 0; c < a.Cardinality(); c++ {
+		if !assigned[c] {
+			if other == nil {
+				other = &Node{Label: a.Name() + ":other"}
+			}
+			other.Children = append(other.Children, &Node{Label: a.Label(c), Codes: []int{c}})
+			other.Codes = append(other.Codes, c)
+		}
+	}
+	if other != nil {
+		root.Children = append(root.Children, other)
+		root.Codes = append(root.Codes, other.Codes...)
+	}
+	sort.Ints(root.Codes)
+	h := &Hierarchy{Attribute: a, Root: root}
+	h.buildIndex()
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}

@@ -1,0 +1,113 @@
+package taxonomy
+
+import (
+	"testing"
+
+	"ldiv/internal/table"
+)
+
+func TestNewFlat(t *testing.T) {
+	a := table.NewIntegerAttribute("Race", 9)
+	h := NewFlat(a)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Root.Width() != 9 || len(h.Root.Children) != 9 {
+		t.Errorf("flat hierarchy shape wrong: width %d, children %d", h.Root.Width(), len(h.Root.Children))
+	}
+	leaf := h.Leaf(4)
+	if leaf == nil || !leaf.IsLeaf() || leaf.Codes[0] != 4 {
+		t.Error("Leaf(4) wrong")
+	}
+	if leaf.Parent != h.Root {
+		t.Error("leaf parent should be the root")
+	}
+}
+
+func TestNewFanout(t *testing.T) {
+	a := table.NewIntegerAttribute("Age", 79)
+	h := NewFanout(a, 4)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Root.Width() != 79 {
+		t.Errorf("root width %d", h.Root.Width())
+	}
+	if len(h.Root.Children) > 4 {
+		t.Errorf("root has %d children, fanout 4", len(h.Root.Children))
+	}
+	// Every code must have a leaf and the path widths must shrink.
+	for c := 0; c < 79; c++ {
+		leaf := h.Leaf(c)
+		if leaf == nil {
+			t.Fatalf("no leaf for code %d", c)
+		}
+		prev := leaf
+		for n := leaf.Parent; n != nil; n = n.Parent {
+			if n.Width() <= prev.Width() {
+				t.Fatalf("width does not grow toward the root at code %d", c)
+			}
+			prev = n
+		}
+	}
+	// Tiny fanout values are clamped to 2.
+	h2 := NewFanout(table.NewIntegerAttribute("X", 5), 1)
+	if err := h2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewFromGroups(t *testing.T) {
+	a, err := table.NewAttributeWithDomain("Education", []string{"HighSch", "Bachelor", "Master", "PhD"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewFromGroups(a, map[string][]string{
+		"HighSch or below":  {"HighSch"},
+		"Bachelor or above": {"Bachelor", "Master", "PhD"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Root.Children) != 2 {
+		t.Errorf("expected 2 groups, got %d", len(h.Root.Children))
+	}
+	code, _ := a.Code("Master")
+	leaf := h.Leaf(code)
+	if leaf.Parent.Label != "Bachelor or above" {
+		t.Errorf("Master grouped under %q", leaf.Parent.Label)
+	}
+	// Uncovered labels go into an "other" group.
+	b, _ := table.NewAttributeWithDomain("X", []string{"a", "b", "c"})
+	h2, err := NewFromGroups(b, map[string][]string{"ab": {"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h2.Root.Children) != 2 {
+		t.Errorf("expected ab + other, got %d children", len(h2.Root.Children))
+	}
+	// Errors: unknown label, duplicate assignment.
+	if _, err := NewFromGroups(b, map[string][]string{"g": {"zzz"}}); err == nil {
+		t.Error("unknown label accepted")
+	}
+	if _, err := NewFromGroups(b, map[string][]string{"g1": {"a"}, "g2": {"a"}}); err == nil {
+		t.Error("duplicate assignment accepted")
+	}
+}
+
+func TestValidateDetectsBrokenHierarchy(t *testing.T) {
+	a := table.NewIntegerAttribute("A", 3)
+	// Leaf 2 missing.
+	root := &Node{Label: "*", Codes: []int{0, 1, 2}, Children: []*Node{
+		{Label: "0", Codes: []int{0}},
+		{Label: "1", Codes: []int{1}},
+	}}
+	h := &Hierarchy{Attribute: a, Root: root}
+	h.buildIndex()
+	if err := h.Validate(); err == nil {
+		t.Error("hierarchy missing a leaf accepted")
+	}
+}

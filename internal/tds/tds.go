@@ -1,0 +1,260 @@
+// Package tds implements the TDS baseline of Section 6.2: top-down
+// specialization (Fung, Wang, Yu, ICDE 2005) over per-attribute
+// generalization hierarchies, modified to enforce l-diversity instead of
+// k-anonymity. It produces a single-dimensional generalization: every value
+// of an attribute is mapped to the same sub-domain of the attribute's
+// hierarchy cut, so the published table can be analyzed with off-the-shelf
+// statistical software.
+package tds
+
+import (
+	"fmt"
+	"math"
+
+	"ldiv/internal/eligibility"
+	"ldiv/internal/generalize"
+	"ldiv/internal/table"
+	"ldiv/internal/taxonomy"
+)
+
+// Anonymizer runs TDS for l-diversity.
+type Anonymizer struct {
+	// L is the diversity parameter.
+	L int
+	// Hierarchies holds one generalization hierarchy per QI attribute, in
+	// column order. If nil, balanced fanout-4 hierarchies are built over each
+	// attribute's code order.
+	Hierarchies []*taxonomy.Hierarchy
+	// MaxSpecializations bounds the number of greedy specialization steps;
+	// zero means no bound.
+	MaxSpecializations int
+}
+
+// NewAnonymizer returns a TDS anonymizer with default hierarchies.
+func NewAnonymizer(l int) *Anonymizer { return &Anonymizer{L: l} }
+
+// Anonymize computes an l-diverse single-dimensional generalization of t.
+func (a *Anonymizer) Anonymize(t *table.Table) (*generalize.Generalized, error) {
+	l := a.L
+	if l < 1 {
+		return nil, fmt.Errorf("tds: invalid l = %d", l)
+	}
+	if !eligibility.IsEligibleTable(t, l) {
+		return nil, fmt.Errorf("tds: table is not %d-eligible", l)
+	}
+	d := t.Dimensions()
+	hs := a.Hierarchies
+	if hs == nil {
+		hs = make([]*taxonomy.Hierarchy, d)
+		for j := 0; j < d; j++ {
+			hs[j] = taxonomy.NewFanout(t.Schema().QI(j), 4)
+		}
+	}
+	if len(hs) != d {
+		return nil, fmt.Errorf("tds: %d hierarchies for %d QI attributes", len(hs), d)
+	}
+	for j, h := range hs {
+		if h.Attribute != t.Schema().QI(j) {
+			return nil, fmt.Errorf("tds: hierarchy %d is not built on QI attribute %q", j, t.Schema().QI(j).Name())
+		}
+	}
+
+	st := newTDSState(t, hs, l)
+	steps := 0
+	for {
+		if a.MaxSpecializations > 0 && steps >= a.MaxSpecializations {
+			break
+		}
+		if !st.specializeBest() {
+			break
+		}
+		steps++
+	}
+	return st.generalized()
+}
+
+// tdsState carries the current cut and the grouping it induces.
+type tdsState struct {
+	t  *table.Table
+	hs []*taxonomy.Hierarchy
+	l  int
+
+	// nodeOf[j][code] is the active node of attribute j covering the code.
+	nodeOf []map[int]*taxonomy.Node
+	// groups maps a cut signature to the rows it contains.
+	groups map[string][]int
+	// ids assigns a stable integer to every hierarchy node for signatures.
+	ids map[*taxonomy.Node]int
+}
+
+func newTDSState(t *table.Table, hs []*taxonomy.Hierarchy, l int) *tdsState {
+	st := &tdsState{t: t, hs: hs, l: l, ids: make(map[*taxonomy.Node]int)}
+	id := 0
+	var walk func(n *taxonomy.Node)
+	walk = func(n *taxonomy.Node) {
+		st.ids[n] = id
+		id++
+		for _, ch := range n.Children {
+			walk(ch)
+		}
+	}
+	for _, h := range hs {
+		walk(h.Root)
+	}
+	st.nodeOf = make([]map[int]*taxonomy.Node, len(hs))
+	for j, h := range hs {
+		m := make(map[int]*taxonomy.Node, h.Attribute.Cardinality())
+		for c := 0; c < h.Attribute.Cardinality(); c++ {
+			m[c] = h.Root
+		}
+		st.nodeOf[j] = m
+	}
+	st.rebuildGroups()
+	return st
+}
+
+func (st *tdsState) signature(row int) string {
+	sig := make([]byte, 0, 4*len(st.hs))
+	for j := range st.hs {
+		n := st.nodeOf[j][st.t.QIValue(row, j)]
+		id := st.ids[n]
+		sig = append(sig, byte(id), byte(id>>8), byte(id>>16), ',')
+	}
+	return string(sig)
+}
+
+func (st *tdsState) rebuildGroups() {
+	st.groups = make(map[string][]int)
+	for r := 0; r < st.t.Len(); r++ {
+		k := st.signature(r)
+		st.groups[k] = append(st.groups[k], r)
+	}
+}
+
+// candidate is a potential specialization: replace node (attribute j) by its
+// children.
+type candidate struct {
+	j    int
+	node *taxonomy.Node
+}
+
+// activeInternalNodes enumerates the internal nodes currently on the cuts.
+func (st *tdsState) activeInternalNodes() []candidate {
+	var out []candidate
+	for j := range st.hs {
+		seen := make(map[*taxonomy.Node]bool)
+		for _, n := range st.nodeOf[j] {
+			if !n.IsLeaf() && !seen[n] {
+				seen[n] = true
+				out = append(out, candidate{j: j, node: n})
+			}
+		}
+	}
+	return out
+}
+
+// childOf returns the child of node covering code.
+func childOf(node *taxonomy.Node, code int) *taxonomy.Node {
+	for _, ch := range node.Children {
+		for _, c := range ch.Codes {
+			if c == code {
+				return ch
+			}
+		}
+	}
+	return nil
+}
+
+// evaluate checks whether specializing cand keeps every affected group
+// l-eligible and returns the information gain (reduction of log-width summed
+// over affected tuples). ok is false if the specialization is invalid.
+func (st *tdsState) evaluate(cand candidate) (gain float64, ok bool) {
+	l := st.l
+	widthBefore := math.Log2(float64(cand.node.Width()))
+	childCache := make(map[int]*taxonomy.Node)
+	for _, rows := range st.groups {
+		// Fast skip: the group is affected only if its attribute-j node is
+		// cand.node; every row in the group shares that node.
+		n := st.nodeOf[cand.j][st.t.QIValue(rows[0], cand.j)]
+		if n != cand.node {
+			continue
+		}
+		// Split the group's rows by child and check eligibility of each part.
+		parts := make(map[*taxonomy.Node]map[int]int) // child -> SA histogram
+		sizes := make(map[*taxonomy.Node]int)
+		for _, r := range rows {
+			code := st.t.QIValue(r, cand.j)
+			ch, cached := childCache[code]
+			if !cached {
+				ch = childOf(cand.node, code)
+				childCache[code] = ch
+			}
+			if ch == nil {
+				return 0, false
+			}
+			hist := parts[ch]
+			if hist == nil {
+				hist = make(map[int]int)
+				parts[ch] = hist
+			}
+			hist[st.t.SAValue(r)]++
+			sizes[ch]++
+			gain += widthBefore - math.Log2(float64(ch.Width()))
+		}
+		for ch, hist := range parts {
+			if sizes[ch] > 0 && !eligibility.IsEligibleHistogram(hist, l) {
+				return 0, false
+			}
+		}
+	}
+	return gain, true
+}
+
+// apply performs the specialization.
+func (st *tdsState) apply(cand candidate) {
+	for _, code := range cand.node.Codes {
+		ch := childOf(cand.node, code)
+		st.nodeOf[cand.j][code] = ch
+	}
+	st.rebuildGroups()
+}
+
+// specializeBest evaluates all candidates, applies the best valid one and
+// reports whether any specialization was applied.
+func (st *tdsState) specializeBest() bool {
+	best := candidate{j: -1}
+	bestGain := math.Inf(-1)
+	for _, cand := range st.activeInternalNodes() {
+		gain, ok := st.evaluate(cand)
+		if !ok {
+			continue
+		}
+		if gain > bestGain {
+			best, bestGain = cand, gain
+		}
+	}
+	if best.j < 0 {
+		return false
+	}
+	st.apply(best)
+	return true
+}
+
+// generalized renders the current cut as a Generalized table.
+func (st *tdsState) generalized() (*generalize.Generalized, error) {
+	t := st.t
+	cells := make([][]generalize.Cell, t.Len())
+	for r := 0; r < t.Len(); r++ {
+		row := make([]generalize.Cell, t.Dimensions())
+		for j := range st.hs {
+			n := st.nodeOf[j][t.QIValue(r, j)]
+			if n.IsLeaf() {
+				row[j] = generalize.Cell{Kind: generalize.CellExact, Value: n.Codes[0]}
+			} else {
+				row[j] = generalize.Cell{Kind: generalize.CellSet, Set: append([]int(nil), n.Codes...)}
+			}
+		}
+		cells[r] = row
+	}
+	return generalize.FromCells(t, cells)
+}

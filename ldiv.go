@@ -1,0 +1,270 @@
+// Package ldiv is the public API of a from-scratch reproduction of
+// "The Hardness and Approximation Algorithms for L-Diversity"
+// (Xiao, Yi, Tao; EDBT 2010).
+//
+// The library anonymizes categorical microdata by suppression so that the
+// published table is l-diverse: in every QI-group at most a 1/l fraction of
+// the tuples share a sensitive value. Its centerpiece is the paper's TP
+// three-phase algorithm, the first l-diversity algorithm with a non-trivial
+// worst-case bound on information loss (an l·d approximation of the minimum
+// number of stars), plus the TP+ hybrid, the Hilbert and TDS baselines used
+// in the paper's evaluation, exact reference solvers, information-loss
+// metrics and synthetic census data generators.
+//
+// Quick start:
+//
+//	t, _ := ldiv.GenerateSAL(10000, 1)
+//	res, err := ldiv.TPPlus(t, 4)
+//	if err != nil { ... }
+//	gen, _ := res.Generalize(t)
+//	fmt.Println(gen.Stars(), "stars")
+package ldiv
+
+import (
+	"io"
+
+	"ldiv/internal/anatomy"
+	"ldiv/internal/attack"
+	"ldiv/internal/core"
+	"ldiv/internal/dataset"
+	"ldiv/internal/eligibility"
+	"ldiv/internal/generalize"
+	"ldiv/internal/hilbert"
+	"ldiv/internal/incognito"
+	"ldiv/internal/matching"
+	"ldiv/internal/metrics"
+	"ldiv/internal/mondrian"
+	"ldiv/internal/query"
+	"ldiv/internal/table"
+	"ldiv/internal/taxonomy"
+	"ldiv/internal/tds"
+)
+
+// Core data model types, re-exported from the internal packages.
+type (
+	// Table is a microdata table with categorical QI attributes and one
+	// sensitive attribute.
+	Table = table.Table
+	// Attribute is a categorical attribute with a label dictionary.
+	Attribute = table.Attribute
+	// Schema describes a table's QI attributes and sensitive attribute.
+	Schema = table.Schema
+	// Partition is a partition of a table's rows into QI-groups.
+	Partition = generalize.Partition
+	// Generalized is a published table: original rows with generalized cells.
+	Generalized = generalize.Generalized
+	// Cell is one published QI value (exact, star, or sub-domain).
+	Cell = generalize.Cell
+	// Result is the outcome of a TP or TP+ run.
+	Result = core.Result
+	// Hierarchy is a generalization hierarchy used by TDS.
+	Hierarchy = taxonomy.Hierarchy
+)
+
+// ErrNotEligible is returned when a table is not l-eligible, in which case no
+// l-diverse generalization exists.
+var ErrNotEligible = core.ErrNotEligible
+
+// NewAttribute creates an empty categorical attribute.
+func NewAttribute(name string) *Attribute { return table.NewAttribute(name) }
+
+// NewIntegerAttribute creates an attribute whose domain is 0..cardinality-1.
+func NewIntegerAttribute(name string, cardinality int) *Attribute {
+	return table.NewIntegerAttribute(name, cardinality)
+}
+
+// NewSchema builds a schema from QI attributes and a sensitive attribute.
+func NewSchema(qi []*Attribute, sa *Attribute) (*Schema, error) { return table.NewSchema(qi, sa) }
+
+// NewTable creates an empty table over the schema.
+func NewTable(schema *Schema) *Table { return table.New(schema) }
+
+// ReadCSV reads microdata from CSV, treating qiColumns as QI attributes and
+// saColumn as the sensitive attribute.
+func ReadCSV(r io.Reader, qiColumns []string, saColumn string) (*Table, error) {
+	return table.ReadCSV(r, qiColumns, saColumn)
+}
+
+// WriteCSV writes a table as CSV.
+func WriteCSV(w io.Writer, t *Table) error { return table.WriteCSV(w, t) }
+
+// TP runs the paper's three-phase approximation algorithm and returns the
+// surviving QI-groups plus the residue set of suppressed tuples. The number
+// of suppressed tuples is at most l times the optimum (Theorem 3) and the
+// number of stars at most l·d times the optimum (Lemma 2).
+func TP(t *Table, l int) (*Result, error) {
+	return core.NewAnonymizer(l).Anonymize(t)
+}
+
+// TPPlus runs TP and then refines the residue set with the Hilbert heuristic,
+// which can only reduce the number of stars (Section 5.6 / 6.1).
+func TPPlus(t *Table, l int) (*Result, error) {
+	return core.NewHybridAnonymizer(l, hilbert.NewSuppressor(l)).Anonymize(t)
+}
+
+// TPWithGroups runs TP starting from a caller-supplied partition into groups
+// of identical (possibly pre-coarsened) QI values, supporting the
+// preprocessing workflow of Section 5.6.
+func TPWithGroups(t *Table, groups [][]int, l int) (*Result, error) {
+	return core.NewAnonymizer(l).AnonymizeGroups(t, groups)
+}
+
+// Hilbert runs the Hilbert space-filling-curve suppression baseline and
+// returns its partition into l-eligible QI-groups.
+func Hilbert(t *Table, l int) (*Partition, error) {
+	return hilbert.NewSuppressor(l).Anonymize(t)
+}
+
+// TDS runs the top-down specialization baseline (single-dimensional
+// generalization adapted to l-diversity) with default balanced hierarchies.
+func TDS(t *Table, l int) (*Generalized, error) {
+	return tds.NewAnonymizer(l).Anonymize(t)
+}
+
+// TDSWithHierarchies runs TDS with caller-supplied generalization
+// hierarchies, one per QI attribute in column order.
+func TDSWithHierarchies(t *Table, l int, hs []*Hierarchy) (*Generalized, error) {
+	return (&tds.Anonymizer{L: l, Hierarchies: hs}).Anonymize(t)
+}
+
+// Mondrian runs the multi-dimensional Mondrian baseline and returns its
+// multi-dimensional generalization.
+func Mondrian(t *Table, l int) (*Generalized, error) {
+	return mondrian.NewAnonymizer(l).Generalize(t)
+}
+
+// Incognito runs the full-domain single-dimensional generalization baseline:
+// it searches the lattice of per-attribute generalization levels for the
+// least-generalized l-diverse full-domain recoding.
+func Incognito(t *Table, l int) (*Generalized, error) {
+	res, err := incognito.NewAnonymizer(l).Anonymize(t)
+	if err != nil {
+		return nil, err
+	}
+	return res.Generalized, nil
+}
+
+// OptimalTwoDiverse computes the provably optimal 2-diverse suppression of a
+// table with exactly two sensitive values, via minimum-cost perfect matching
+// (Section 4). It returns the optimal partition and its star count.
+func OptimalTwoDiverse(t *Table) (*Partition, int, error) {
+	return matching.OptimalTwoDiverse(t)
+}
+
+// NewFanoutHierarchy builds a balanced interval hierarchy over an attribute's
+// code order, for use with TDSWithHierarchies.
+func NewFanoutHierarchy(a *Attribute, fanout int) *Hierarchy {
+	return taxonomy.NewFanout(a, fanout)
+}
+
+// NewPartition builds a partition from row-index groups (empty groups are
+// dropped, contents copied).
+func NewPartition(groups [][]int) *Partition { return generalize.NewPartition(groups) }
+
+// Suppress applies suppression (Definition 1) to a partition.
+func Suppress(t *Table, p *Partition) (*Generalized, error) { return generalize.Suppress(t, p) }
+
+// MultiDimensional renders the multi-dimensional generalization induced by a
+// partition (each group publishes the minimal covering sub-domains).
+func MultiDimensional(t *Table, p *Partition) (*Generalized, error) {
+	return generalize.MultiDimensional(t, p)
+}
+
+// Stars returns the number of stars of a partition's suppression
+// generalization, the objective of star minimization (Problem 1).
+func Stars(t *Table, p *Partition) int { return generalize.StarsForPartition(t, p) }
+
+// KLDivergence measures the information loss of a generalized table as the
+// KL-divergence between the distribution it induces and the microdata
+// distribution (Equation 2).
+func KLDivergence(g *Generalized) (float64, error) { return metrics.KLDivergence(g) }
+
+// IsLDiverse reports whether a partition of t satisfies l-diversity.
+func IsLDiverse(t *Table, p *Partition, l int) bool {
+	return eligibility.IsLDiversePartition(t, p.Groups, l)
+}
+
+// EntropyLDiverse reports whether every group of the partition has sensitive
+// entropy at least log(l) (entropy l-diversity, a stricter principle surveyed
+// in Section 2).
+func EntropyLDiverse(t *Table, p *Partition, l int) bool {
+	return eligibility.EntropyLDiversity(t, p.Groups, l)
+}
+
+// RecursiveCLDiverse reports whether the partition satisfies recursive
+// (c,l)-diversity.
+func RecursiveCLDiverse(t *Table, p *Partition, c float64, l int) bool {
+	return eligibility.RecursiveCLDiversity(t, p.Groups, c, l)
+}
+
+// AlphaKAnonymous reports whether the partition satisfies (alpha,k)-anonymity:
+// groups of at least k tuples in which no sensitive value exceeds an alpha
+// fraction.
+func AlphaKAnonymous(t *Table, p *Partition, alpha float64, k int) bool {
+	return eligibility.AlphaKAnonymity(t, p.Groups, alpha, k)
+}
+
+// DistinctLDiverse reports whether every group contains at least l distinct
+// sensitive values.
+func DistinctLDiverse(t *Table, p *Partition, l int) bool {
+	return eligibility.DistinctLDiversity(t, p.Groups, l)
+}
+
+// IsEligible reports whether the table itself is l-eligible, the necessary
+// and sufficient condition for an l-diverse generalization to exist.
+func IsEligible(t *Table, l int) bool { return eligibility.IsEligibleTable(t, l) }
+
+// MaxEligibleL returns the largest l for which an l-diverse generalization of
+// t exists.
+func MaxEligibleL(t *Table) int { return eligibility.MaxEligibleL(t) }
+
+// Additional audit and utility tooling re-exported from the internal packages.
+type (
+	// AttackReport summarizes the linking-attack risk of a publication.
+	AttackReport = attack.Report
+	// Anatomy is the result of an anatomy (bucketization) publication.
+	Anatomy = anatomy.Result
+	// Query is a conjunctive count query over QI and sensitive values.
+	Query = query.Query
+	// Workload is a set of count queries.
+	Workload = query.Workload
+	// WorkloadEvaluation summarizes the error of a workload on a publication.
+	WorkloadEvaluation = query.Evaluation
+)
+
+// AuditLinkingAttack simulates the Section 1 linking adversary against a
+// published generalization and reports per-individual inference confidence.
+func AuditLinkingAttack(g *Generalized) (*AttackReport, error) { return attack.Audit(g) }
+
+// AuditPartition is AuditLinkingAttack for a partition published with
+// suppression.
+func AuditPartition(t *Table, p *Partition) (*AttackReport, error) {
+	return attack.AuditPartition(t, p)
+}
+
+// Anatomize publishes t with the anatomy methodology (exact QI values, a
+// separate sensitive table, l-diverse buckets).
+func Anatomize(t *Table, l int) (*Anatomy, error) { return anatomy.Anonymize(t, l) }
+
+// RandomWorkload generates a random range-count query workload against t.
+func RandomWorkload(t *Table, queries, dims int, selectivity float64, seed int64) (*Workload, error) {
+	return query.RandomWorkload(t, queries, dims, selectivity, seed)
+}
+
+// EvaluateWorkload answers every query of the workload on the published table
+// and on the microdata, summarizing the relative error.
+func EvaluateWorkload(g *Generalized, w *Workload) (*WorkloadEvaluation, error) {
+	return query.Evaluate(g, w)
+}
+
+// GenerateSAL generates a synthetic SAL-like census table (sensitive
+// attribute Income) with the attribute domains of the paper's Table 6.
+func GenerateSAL(rows int, seed int64) (*Table, error) {
+	return dataset.GenerateSAL(dataset.Config{Rows: rows, Seed: seed})
+}
+
+// GenerateOCC generates a synthetic OCC-like census table (sensitive
+// attribute Occupation).
+func GenerateOCC(rows int, seed int64) (*Table, error) {
+	return dataset.GenerateOCC(dataset.Config{Rows: rows, Seed: seed})
+}
