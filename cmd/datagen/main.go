@@ -8,6 +8,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -18,46 +19,97 @@ import (
 	"ldiv/internal/table"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("datagen: ")
+// options is the parsed command line of datagen.
+type options struct {
+	dataset string
+	rows    int
+	seed    int64
+	out     string
+	qi      string
+}
 
-	dataset := flag.String("dataset", "sal", "dataset to generate: sal (sensitive attribute Income) or occ (Occupation)")
-	rows := flag.Int("rows", 600000, "number of tuples")
-	seed := flag.Int64("seed", 1, "random seed")
-	out := flag.String("out", "", "output CSV path (default stdout)")
-	project := flag.String("qi", "", "optional comma-separated subset of QI attributes to keep")
-	flag.Parse()
+// errFlagParse marks errors the ContinueOnError FlagSet has already printed
+// (together with the usage text), so main exits without repeating them.
+var errFlagParse = errors.New("flag parse error")
 
+// parseOptions parses the command line. Dataset validation lives in
+// buildTable, which has to dispatch on the name anyway.
+func parseOptions(args []string) (options, error) {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	dataset := fs.String("dataset", "sal", "dataset to generate: sal (sensitive attribute Income) or occ (Occupation)")
+	rows := fs.Int("rows", 600000, "number of tuples")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "", "output CSV path (default stdout)")
+	project := fs.String("qi", "", "optional comma-separated subset of QI attributes to keep")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return options{}, err
+		}
+		return options{}, fmt.Errorf("%w: %v", errFlagParse, err)
+	}
+	return options{
+		dataset: strings.ToLower(*dataset),
+		rows:    *rows,
+		seed:    *seed,
+		out:     *out,
+		qi:      *project,
+	}, nil
+}
+
+// buildTable generates the requested dataset and applies the optional QI
+// projection. Unknown dataset names are rejected here, before any data is
+// generated.
+func buildTable(opts options) (*ldiv.Table, error) {
 	var (
 		t   *ldiv.Table
 		err error
 	)
-	switch strings.ToLower(*dataset) {
+	switch opts.dataset {
 	case "sal":
-		t, err = ldiv.GenerateSAL(*rows, *seed)
+		t, err = ldiv.GenerateSAL(opts.rows, opts.seed)
 	case "occ":
-		t, err = ldiv.GenerateOCC(*rows, *seed)
+		t, err = ldiv.GenerateOCC(opts.rows, opts.seed)
 	default:
-		log.Fatalf("unknown dataset %q (want sal or occ)", *dataset)
+		return nil, fmt.Errorf("unknown dataset %q (want sal or occ)", opts.dataset)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
-	if *project != "" {
-		names := strings.Split(*project, ",")
+	if opts.qi != "" {
+		names := strings.Split(opts.qi, ",")
 		for i := range names {
 			names[i] = strings.TrimSpace(names[i])
 		}
 		t, err = t.ProjectNames(names)
 		if err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
+	}
+	return t, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("datagen: ")
+
+	opts, err := parseOptions(os.Args[1:])
+	if err != nil {
+		if err == flag.ErrHelp {
+			return
+		}
+		if errors.Is(err, errFlagParse) {
+			os.Exit(2) // the FlagSet already printed the error and usage
+		}
+		log.Fatal(err)
+	}
+	t, err := buildTable(opts)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if opts.out != "" {
+		f, err := os.Create(opts.out)
 		if err != nil {
 			log.Fatal(err)
 		}

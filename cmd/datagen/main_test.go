@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseOptionsDefaults(t *testing.T) {
+	opts, err := parseOptions(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.dataset != "sal" || opts.rows != 600000 || opts.seed != 1 || opts.out != "" || opts.qi != "" {
+		t.Errorf("defaults wrong: %+v", opts)
+	}
+}
+
+func TestParseOptionsNormalizesDataset(t *testing.T) {
+	opts, err := parseOptions([]string{"-dataset", "OCC", "-rows", "50", "-seed", "9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.dataset != "occ" || opts.rows != 50 || opts.seed != 9 {
+		t.Errorf("overrides wrong: %+v", opts)
+	}
+}
+
+func TestBuildTableRejectsUnknownDataset(t *testing.T) {
+	if _, err := buildTable(options{dataset: "census", rows: 10, seed: 1}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestBuildTableGeneratesAndProjects(t *testing.T) {
+	tbl, err := buildTable(options{dataset: "sal", rows: 200, seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 200 || tbl.Dimensions() != 7 {
+		t.Fatalf("SAL shape %dx%d, want 200x7", tbl.Len(), tbl.Dimensions())
+	}
+	if tbl.Schema().SA().Name() != "Income" {
+		t.Errorf("SAL sensitive attribute %q", tbl.Schema().SA().Name())
+	}
+
+	proj, err := buildTable(options{dataset: "occ", rows: 100, seed: 2, qi: "Age, Gender"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Dimensions() != 2 {
+		t.Errorf("projection kept %d QI attributes, want 2", proj.Dimensions())
+	}
+	if proj.Schema().SA().Name() != "Occupation" {
+		t.Errorf("OCC sensitive attribute %q", proj.Schema().SA().Name())
+	}
+}
+
+func TestBuildTableRejectsUnknownQI(t *testing.T) {
+	_, err := buildTable(options{dataset: "sal", rows: 10, seed: 1, qi: "Nope"})
+	if err == nil || !strings.Contains(err.Error(), "Nope") {
+		t.Fatalf("unknown QI attribute not rejected: %v", err)
+	}
+}
+
+func TestBuildTableDeterministicForSeed(t *testing.T) {
+	a, err := buildTable(options{dataset: "sal", rows: 150, seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildTable(options{dataset: "sal", rows: 150, seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("same seed produced different tables")
+	}
+}

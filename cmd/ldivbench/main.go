@@ -8,29 +8,49 @@
 //	ldivbench -fig all                 # laptop-scale defaults
 //	ldivbench -fig 2 -rows 600000 -projections 0   # paper-scale Figure 2
 //	ldivbench -fig p3                  # phase-three frequency study
+//	ldivbench -fig all -workers 0      # one worker per CPU
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
 	"ldiv/internal/experiment"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("ldivbench: ")
+// options is the parsed command line: the figure selector plus the assembled
+// experiment configuration.
+type options struct {
+	fig string
+	cfg experiment.Config
+}
 
-	fig := flag.String("fig", "all", "which experiment to run: 2,3,4,5,6,7,8,p3,t6 or all")
-	rows := flag.Int("rows", 0, "base table cardinality (0 = default 60000)")
-	klRows := flag.Int("klrows", 0, "cardinality for the KL figures (0 = default 15000)")
-	projections := flag.Int("projections", -1, "max projections per d (-1 = default 5, 0 = all C(7,d) as in the paper)")
-	seed := flag.Int64("seed", 1, "generator seed")
-	paper := flag.Bool("paper", false, "use the full paper-scale configuration (slow)")
-	flag.Parse()
+// errFlagParse marks errors the ContinueOnError FlagSet has already printed
+// (together with the usage text), so main exits without repeating them.
+var errFlagParse = errors.New("flag parse error")
+
+// parseOptions builds the experiment configuration from the command line.
+// Unknown -fig values are rejected here, before any experiment runs.
+func parseOptions(args []string) (options, error) {
+	fs := flag.NewFlagSet("ldivbench", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "which experiment to run: 2,3,4,5,6,7,8,p3,t6 or all")
+	rows := fs.Int("rows", 0, "base table cardinality (0 = default 60000)")
+	klRows := fs.Int("klrows", 0, "cardinality for the KL figures (0 = default 15000)")
+	projections := fs.Int("projections", -1, "max projections per d (-1 = default 5, 0 = all C(7,d) as in the paper)")
+	seed := fs.Int64("seed", 1, "generator seed")
+	workers := fs.Int("workers", 1, "concurrent experiment cells (1 = serial, 0 = one per CPU)")
+	paper := fs.Bool("paper", false, "use the full paper-scale configuration (slow)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return options{}, err
+		}
+		return options{}, fmt.Errorf("%w: %v", errFlagParse, err)
+	}
 
 	cfg := experiment.DefaultConfig()
 	if *paper {
@@ -46,7 +66,30 @@ func main() {
 		cfg.MaxProjections = *projections
 	}
 	cfg.Seed = *seed
-	r := experiment.NewRunner(cfg)
+	cfg.Workers = *workers
+
+	want := strings.ToLower(*fig)
+	if want != "all" && !isKnown(want) {
+		return options{}, fmt.Errorf("unknown figure %q", *fig)
+	}
+	return options{fig: want, cfg: cfg}, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ldivbench: ")
+
+	opts, err := parseOptions(os.Args[1:])
+	if err != nil {
+		if err == flag.ErrHelp {
+			return
+		}
+		if errors.Is(err, errFlagParse) {
+			os.Exit(2) // the FlagSet already printed the error and usage
+		}
+		log.Fatal(err)
+	}
+	r := experiment.NewRunner(opts.cfg)
 
 	run := func(name string, f func() ([]experiment.Figure, error)) {
 		start := time.Now()
@@ -60,8 +103,7 @@ func main() {
 		fmt.Printf("(figure %s completed in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
-	want := strings.ToLower(*fig)
-	selected := func(name string) bool { return want == "all" || want == name }
+	selected := func(name string) bool { return opts.fig == "all" || opts.fig == name }
 
 	if selected("t6") {
 		fmt.Println(experiment.Format(experiment.Table6()))
@@ -103,9 +145,6 @@ func main() {
 			fmt.Println("so every returned solution is an O(d)-approximation.")
 		}
 		fmt.Printf("(completed in %s)\n", time.Since(start).Round(time.Millisecond))
-	}
-	if want != "all" && !isKnown(want) {
-		log.Fatalf("unknown figure %q", *fig)
 	}
 }
 

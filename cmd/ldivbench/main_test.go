@@ -1,0 +1,76 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"ldiv/internal/experiment"
+)
+
+func TestIsKnown(t *testing.T) {
+	for _, name := range []string{"2", "3", "4", "5", "6", "7", "8", "p3", "t6"} {
+		if !isKnown(name) {
+			t.Errorf("isKnown(%q) = false, want true", name)
+		}
+	}
+	for _, name := range []string{"", "1", "9", "all", "bogus", "P3", "fig2"} {
+		if isKnown(name) {
+			t.Errorf("isKnown(%q) = true, want false", name)
+		}
+	}
+}
+
+func TestParseOptionsDefaults(t *testing.T) {
+	opts, err := parseOptions(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := experiment.DefaultConfig()
+	want.Workers = 1
+	if !reflect.DeepEqual(opts.cfg, want) {
+		t.Errorf("default config = %+v, want %+v", opts.cfg, want)
+	}
+	if opts.fig != "all" {
+		t.Errorf("default fig = %q, want all", opts.fig)
+	}
+}
+
+func TestParseOptionsOverrides(t *testing.T) {
+	opts, err := parseOptions([]string{
+		"-fig", "P3", "-rows", "1234", "-klrows", "99", "-projections", "0",
+		"-seed", "7", "-workers", "4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.fig != "p3" {
+		t.Errorf("fig = %q, want p3 (lowercased)", opts.fig)
+	}
+	cfg := opts.cfg
+	if cfg.Rows != 1234 || cfg.KLRows != 99 || cfg.MaxProjections != 0 || cfg.Seed != 7 || cfg.Workers != 4 {
+		t.Errorf("overrides not applied: %+v", cfg)
+	}
+}
+
+func TestParseOptionsPaperScale(t *testing.T) {
+	opts, err := parseOptions([]string{"-paper", "-workers", "0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper := experiment.PaperConfig()
+	if opts.cfg.Rows != paper.Rows || opts.cfg.KLRows != paper.KLRows {
+		t.Errorf("paper config not selected: %+v", opts.cfg)
+	}
+	if opts.cfg.Workers != 0 {
+		t.Errorf("workers = %d, want 0 (one per CPU)", opts.cfg.Workers)
+	}
+}
+
+func TestParseOptionsRejectsUnknownFigureBeforeRunning(t *testing.T) {
+	if _, err := parseOptions([]string{"-fig", "bogus"}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	if _, err := parseOptions([]string{"-notaflag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

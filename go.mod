@@ -1,0 +1,3 @@
+module ldiv
+
+go 1.24

@@ -13,6 +13,7 @@ import (
 	"ldiv/internal/generalize"
 	"ldiv/internal/hilbert"
 	"ldiv/internal/metrics"
+	"ldiv/internal/parallel"
 	"ldiv/internal/table"
 	"ldiv/internal/tds"
 )
@@ -46,6 +47,14 @@ type Config struct {
 	// KLRows optionally reduces the cardinality used by the KL-divergence
 	// figures, which are quadratic in the number of groups; 0 means Rows.
 	KLRows int
+	// Workers bounds the number of experiment cells (one algorithm run on
+	// one projection) executed concurrently. 1 runs everything serially;
+	// values below 1 use one worker per CPU. Cells are independent and
+	// results are aggregated in a fixed order, so the deterministic figures
+	// (stars and KL) are identical for every worker count. The timing
+	// figures (4-6) measure per-cell wall clock, which concurrent cells
+	// inflate by contending for cores — measure those with Workers = 1.
+	Workers int
 }
 
 // DefaultConfig is a laptop-scale configuration that preserves every trend.
@@ -58,6 +67,7 @@ func DefaultConfig() Config {
 		Ds:             []int{1, 2, 3, 4, 5, 6, 7},
 		SampleSizes:    []int{10000, 20000, 30000, 40000, 50000, 60000},
 		KLRows:         15000,
+		Workers:        1,
 	}
 }
 
@@ -71,6 +81,7 @@ func PaperConfig() Config {
 		Ds:             []int{1, 2, 3, 4, 5, 6, 7},
 		SampleSizes:    []int{100000, 200000, 300000, 400000, 500000, 600000},
 		KLRows:         60000,
+		Workers:        1,
 	}
 }
 
@@ -236,22 +247,35 @@ func (r *Runner) projections(datasetName string, d int) ([]*table.Table, error) 
 	return dataset.ProjectionTables(base, d, r.Cfg.MaxProjections)
 }
 
-// averageOutcome runs algo with parameter l on every projection and averages
-// stars, time and KL.
-func averageOutcome(tables []*table.Table, l int, algo string, withKL bool) (stars, kl, seconds float64, phase3 int, err error) {
-	if len(tables) == 0 {
+// cell is one independent unit of work of a figure: one algorithm run with
+// parameter l on one projection table. Cells carry no shared mutable state,
+// so the pool may execute them in any order on any worker.
+type cell struct {
+	table *table.Table
+	l     int
+	algo  string
+}
+
+// runCells executes the cells on the runner's worker pool and returns the
+// outcomes in cell order (parallel.Map guarantees index-ordered results, so
+// aggregation downstream is deterministic for every worker count).
+func (r *Runner) runCells(cells []cell, withKL bool) ([]RunOutcome, error) {
+	return parallel.Map(r.Cfg.Workers, len(cells), func(i int) (RunOutcome, error) {
+		c := cells[i]
+		if c.algo == AlgoTDS {
+			return RunTDS(c.table, c.l, withKL)
+		}
+		return RunSuppression(c.table, c.l, c.algo, withKL)
+	})
+}
+
+// averageOutcome averages stars, KL and time over a run of outcomes and
+// counts the runs that terminated in phase three.
+func averageOutcome(outs []RunOutcome) (stars, kl, seconds float64, phase3 int, err error) {
+	if len(outs) == 0 {
 		return 0, 0, 0, 0, fmt.Errorf("experiment: no projection tables")
 	}
-	for _, t := range tables {
-		var out RunOutcome
-		if algo == AlgoTDS {
-			out, err = RunTDS(t, l, withKL)
-		} else {
-			out, err = RunSuppression(t, l, algo, withKL)
-		}
-		if err != nil {
-			return 0, 0, 0, 0, err
-		}
+	for _, out := range outs {
 		stars += float64(out.Stars)
 		kl += out.KL
 		seconds += out.Elapsed.Seconds()
@@ -259,6 +283,6 @@ func averageOutcome(tables []*table.Table, l int, algo string, withKL bool) (sta
 			phase3++
 		}
 	}
-	f := float64(len(tables))
+	f := float64(len(outs))
 	return stars / f, kl / f, seconds / f, phase3, nil
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"ldiv/internal/dataset"
+	"ldiv/internal/table"
 )
 
 // starAlgorithms are the algorithms compared in Figures 2-6.
@@ -49,25 +50,43 @@ func (r *Runner) Figure6() ([]Figure, error) {
 			XLabel: "dataset cardinality n",
 			YLabel: "seconds",
 		}
+		// Samples are drawn serially up front: Table.Sample consumes the
+		// per-size rng sequentially over the projections, and every
+		// algorithm measures the exact same samples.
+		samples := make([][]*table.Table, len(r.Cfg.SampleSizes))
+		for si, size := range r.Cfg.SampleSizes {
+			rng := rand.New(rand.NewSource(r.Cfg.Seed + int64(size)))
+			samples[si] = make([]*table.Table, len(tables))
+			for ti, t := range tables {
+				if size < t.Len() {
+					samples[si][ti] = t.Sample(size, rng)
+				} else {
+					samples[si][ti] = t
+				}
+			}
+		}
+		var cells []cell
+		for _, algo := range starAlgorithms {
+			for si := range r.Cfg.SampleSizes {
+				for _, sample := range samples[si] {
+					cells = append(cells, cell{table: sample, l: l, algo: algo})
+				}
+			}
+		}
+		outs, err := r.runCells(cells, false)
+		if err != nil {
+			return nil, err
+		}
+		next := 0
 		for _, algo := range starAlgorithms {
 			s := Series{Name: algo}
-			for _, size := range r.Cfg.SampleSizes {
-				rng := rand.New(rand.NewSource(r.Cfg.Seed + int64(size)))
-				secs := 0.0
-				count := 0
-				for _, t := range tables {
-					sample := t
-					if size < t.Len() {
-						sample = t.Sample(size, rng)
-					}
-					out, err := RunSuppression(sample, l, algo, false)
-					if err != nil {
-						return nil, err
-					}
-					secs += out.Elapsed.Seconds()
-					count++
+			for si, size := range r.Cfg.SampleSizes {
+				_, _, secs, _, err := averageOutcome(outs[next : next+len(samples[si])])
+				if err != nil {
+					return nil, err
 				}
-				s.Points = append(s.Points, Point{X: float64(size), Y: secs / float64(count)})
+				next += len(samples[si])
+				s.Points = append(s.Points, Point{X: float64(size), Y: secs})
 			}
 			fig.Series = append(fig.Series, s)
 		}
@@ -107,9 +126,12 @@ type Phase3Report struct {
 	ByDimension map[int]int // d -> phase-3 runs
 }
 
-// Phase3Frequency runs the study over the configured d and l ranges.
+// Phase3Frequency runs the study over the configured d and l ranges. Each TP
+// run is one pool task; the counts are aggregated from the index-ordered
+// outcomes, so the report is identical for every worker count.
 func (r *Runner) Phase3Frequency() (*Phase3Report, error) {
-	rep := &Phase3Report{ByDimension: make(map[int]int)}
+	var cells []cell
+	var dims []int // dims[i] is the dimensionality of cells[i]
 	for _, ds := range []string{"SAL", "OCC"} {
 		for _, d := range r.Cfg.Ds {
 			tables, err := r.projections(ds, d)
@@ -118,17 +140,22 @@ func (r *Runner) Phase3Frequency() (*Phase3Report, error) {
 			}
 			for _, l := range r.Cfg.Ls {
 				for _, t := range tables {
-					out, err := RunSuppression(t, l, AlgoTP, false)
-					if err != nil {
-						return nil, err
-					}
-					rep.Runs++
-					if out.TerminationPhase == 3 {
-						rep.Phase3Runs++
-						rep.ByDimension[d]++
-					}
+					cells = append(cells, cell{table: t, l: l, algo: AlgoTP})
+					dims = append(dims, d)
 				}
 			}
+		}
+	}
+	outs, err := r.runCells(cells, false)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Phase3Report{ByDimension: make(map[int]int)}
+	for i, out := range outs {
+		rep.Runs++
+		if out.TerminationPhase == 3 {
+			rep.Phase3Runs++
+			rep.ByDimension[dims[i]]++
 		}
 	}
 	return rep, nil
@@ -147,7 +174,10 @@ func Table6() Figure {
 	return fig
 }
 
-// sweepL produces one figure per dataset with l on the x axis.
+// sweepL produces one figure per dataset with l on the x axis. Every
+// (algorithm, l, projection) cell is an independent pool task; the series are
+// then assembled from the index-ordered outcomes, so rows keep their serial
+// order for every worker count.
 func (r *Runner) sweepL(id, title, ylabel string, d int, algos []string, withKL bool) ([]Figure, error) {
 	var figures []Figure
 	for _, ds := range []string{"SAL", "OCC"} {
@@ -155,14 +185,28 @@ func (r *Runner) sweepL(id, title, ylabel string, d int, algos []string, withKL 
 		if err != nil {
 			return nil, err
 		}
+		var cells []cell
+		for _, algo := range algos {
+			for _, l := range r.Cfg.Ls {
+				for _, t := range tables {
+					cells = append(cells, cell{table: t, l: l, algo: algo})
+				}
+			}
+		}
+		outs, err := r.runCells(cells, withKL)
+		if err != nil {
+			return nil, err
+		}
 		fig := Figure{ID: id + suffix(ds), Title: fmt.Sprintf("%s (%s-%d)", title, ds, d), XLabel: "l", YLabel: ylabel}
+		next := 0
 		for _, algo := range algos {
 			s := Series{Name: algo}
 			for _, l := range r.Cfg.Ls {
-				stars, kl, secs, _, err := averageOutcome(tables, l, algo, withKL)
+				stars, kl, secs, _, err := averageOutcome(outs[next : next+len(tables)])
 				if err != nil {
 					return nil, err
 				}
+				next += len(tables)
 				s.Points = append(s.Points, Point{X: float64(l), Y: pickY(ylabel, stars, kl, secs)})
 			}
 			fig.Series = append(fig.Series, s)
@@ -173,24 +217,44 @@ func (r *Runner) sweepL(id, title, ylabel string, d int, algos []string, withKL 
 }
 
 // sweepD produces one figure per dataset with d on the x axis at fixed l.
+// Projection families are materialized serially (the Runner cache is not
+// synchronized); the algorithm runs across every d then share one pool.
 func (r *Runner) sweepD(id, title, ylabel string, l int, algos []string, withKL bool) ([]Figure, error) {
 	var figures []Figure
 	for _, ds := range []string{"SAL", "OCC"} {
+		perD := make([][]*table.Table, len(r.Cfg.Ds))
+		for di, d := range r.Cfg.Ds {
+			tables, err := r.projections(ds, d)
+			if err != nil {
+				return nil, err
+			}
+			perD[di] = tables
+		}
+		var cells []cell
+		for _, tables := range perD {
+			for _, algo := range algos {
+				for _, t := range tables {
+					cells = append(cells, cell{table: t, l: l, algo: algo})
+				}
+			}
+		}
+		outs, err := r.runCells(cells, withKL)
+		if err != nil {
+			return nil, err
+		}
 		fig := Figure{ID: id + suffix(ds), Title: fmt.Sprintf("%s (%s-d)", title, ds), XLabel: "number d of QI attributes", YLabel: ylabel}
 		series := make([]Series, len(algos))
 		for i, algo := range algos {
 			series[i] = Series{Name: algo}
 		}
-		for _, d := range r.Cfg.Ds {
-			tables, err := r.projections(ds, d)
-			if err != nil {
-				return nil, err
-			}
-			for i, algo := range algos {
-				stars, kl, secs, _, err := averageOutcome(tables, l, algo, withKL)
+		next := 0
+		for di, d := range r.Cfg.Ds {
+			for i := range algos {
+				stars, kl, secs, _, err := averageOutcome(outs[next : next+len(perD[di])])
 				if err != nil {
 					return nil, err
 				}
+				next += len(perD[di])
 				series[i].Points = append(series[i].Points, Point{X: float64(d), Y: pickY(ylabel, stars, kl, secs)})
 			}
 		}

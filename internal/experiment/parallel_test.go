@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The pool must not change what the harness computes: for every worker count
+// the deterministic figures (stars and KL; timings are inherently noisy) must
+// be byte-identical to the serial run. This test is the acceptance check for
+// the parallel runner and is meant to run under `go test -race`.
+
+func deterministicFigures(t *testing.T, r *Runner) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	for name, f := range map[string]func() ([]Figure, error){
+		"2": r.Figure2, "3": r.Figure3, "7": r.Figure7, "8": r.Figure8,
+	} {
+		figs, err := f()
+		if err != nil {
+			t.Fatalf("figure %s (workers=%d): %v", name, r.Cfg.Workers, err)
+		}
+		for _, fig := range figs {
+			out[fig.ID] = Format(fig)
+		}
+	}
+	return out
+}
+
+func TestParallelRunnerMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-worker sweep is slow")
+	}
+	cfg := tinyConfig()
+	cfg.Workers = 1
+	serial := deterministicFigures(t, NewRunner(cfg))
+
+	for _, workers := range []int{0, 2, 8} {
+		cfg := tinyConfig()
+		cfg.Workers = workers
+		got := deterministicFigures(t, NewRunner(cfg))
+		if len(got) != len(serial) {
+			t.Fatalf("workers=%d produced %d figures, serial %d", workers, len(got), len(serial))
+		}
+		for id, text := range serial {
+			if got[id] != text {
+				t.Errorf("workers=%d: figure %s differs from serial run:\nserial:\n%s\nparallel:\n%s",
+					workers, id, text, got[id])
+			}
+		}
+	}
+}
+
+func TestParallelPhase3ReportMatchesSerial(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Workers = 1
+	serial, err := NewRunner(cfg).Phase3Frequency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	par, err := NewRunner(cfg).Phase3Frequency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("phase-3 reports differ: serial %+v, parallel %+v", serial, par)
+	}
+}
+
+func TestFigure6RunsParallel(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Workers = 3
+	figs, err := NewRunner(cfg).Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("Figure 6 with workers: %d panels, want 2", len(figs))
+	}
+	for _, fig := range figs {
+		for _, s := range fig.Series {
+			if len(s.Points) != len(cfg.SampleSizes) {
+				t.Fatalf("series %s has %d points, want %d", s.Name, len(s.Points), len(cfg.SampleSizes))
+			}
+			for _, p := range s.Points {
+				if p.Y < 0 {
+					t.Errorf("negative timing in %s/%s", fig.ID, s.Name)
+				}
+			}
+		}
+	}
+}

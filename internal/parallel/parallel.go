@@ -1,0 +1,86 @@
+// Package parallel provides a tiny bounded worker pool used by the evaluation
+// harness to run independent experiment cells concurrently. Results are
+// returned in task-index order, so a caller that aggregates them sequentially
+// produces output identical to a serial run regardless of the worker count.
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// WorkerCount normalizes a configured worker count: values below 1 mean "one
+// worker per CPU", and any positive value is used as-is.
+func WorkerCount(workers int) int {
+	if workers < 1 {
+		return runtime.NumCPU()
+	}
+	return workers
+}
+
+// Map runs fn(0) .. fn(n-1) on at most `workers` goroutines and returns the
+// results ordered by task index. A workers value of 1 (or n == 1) runs inline
+// with no goroutines, so serial configurations pay no synchronization cost;
+// a value below 1 uses one worker per CPU.
+//
+// All tasks are attempted even when some fail; every error is collected and
+// returned joined in task-index order, so the error text is deterministic too.
+// Panics inside fn are recovered and reported as errors rather than tearing
+// down the whole process with a goroutine dump.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+
+	call := func(i int) (out T, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("parallel: task %d panicked: %v", i, r)
+			}
+		}()
+		return fn(i)
+	}
+
+	workers = WorkerCount(workers)
+	if workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			results[i], errs[i] = call(i)
+		}
+		return results, errors.Join(errs...)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				results[i], errs[i] = call(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return results, errors.Join(errs...)
+}
+
+// Run is Map without per-task results: it executes fn(0) .. fn(n-1) with the
+// given worker bound and returns the collected errors in task-index order.
+func Run(workers, n int, fn func(i int) error) error {
+	_, err := Map(workers, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

@@ -1,0 +1,111 @@
+package parallel
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		got, err := Map(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: %d results, want 100", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapCollectsAllErrorsInIndexOrder(t *testing.T) {
+	wantErr := []error{errors.New("e3"), errors.New("e7")}
+	_, err := Map(4, 10, func(i int) (int, error) {
+		switch i {
+		case 3:
+			return 0, wantErr[0]
+		case 7:
+			return 0, wantErr[1]
+		}
+		return i, nil
+	})
+	if !errors.Is(err, wantErr[0]) || !errors.Is(err, wantErr[1]) {
+		t.Fatalf("joined error missing a task error: %v", err)
+	}
+	if s := err.Error(); strings.Index(s, "e3") > strings.Index(s, "e7") {
+		t.Errorf("errors not in task-index order: %q", s)
+	}
+}
+
+func TestMapRunsEveryTaskDespiteErrors(t *testing.T) {
+	var ran atomic.Int64
+	_, err := Map(3, 50, func(i int) (int, error) {
+		ran.Add(1)
+		if i%2 == 0 {
+			return 0, errors.New("even")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if ran.Load() != 50 {
+		t.Errorf("ran %d tasks, want 50", ran.Load())
+	}
+}
+
+func TestMapRecoversPanics(t *testing.T) {
+	got, err := Map(4, 5, func(i int) (int, error) {
+		if i == 2 {
+			panic("boom")
+		}
+		return i, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "task 2 panicked") {
+		t.Fatalf("panic not converted to error: %v", err)
+	}
+	if got[4] != 4 {
+		t.Errorf("surviving tasks lost: %v", got)
+	}
+}
+
+func TestMapZeroAndNegativeN(t *testing.T) {
+	got, err := Map(4, 0, func(i int) (int, error) { return i, nil })
+	if err != nil || got != nil {
+		t.Errorf("n=0: got %v, %v", got, err)
+	}
+	got, err = Map(4, -3, func(i int) (int, error) { return i, nil })
+	if err != nil || got != nil {
+		t.Errorf("n<0: got %v, %v", got, err)
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	sentinel := errors.New("nope")
+	if err := Run(2, 4, func(i int) error {
+		if i == 1 {
+			return sentinel
+		}
+		return nil
+	}); !errors.Is(err, sentinel) {
+		t.Fatalf("Run error = %v, want %v", err, sentinel)
+	}
+	if err := Run(0, 8, func(i int) error { return nil }); err != nil {
+		t.Fatalf("Run with default workers: %v", err)
+	}
+}
+
+func TestWorkerCount(t *testing.T) {
+	if WorkerCount(3) != 3 {
+		t.Error("positive worker count not preserved")
+	}
+	if WorkerCount(0) < 1 || WorkerCount(-5) < 1 {
+		t.Error("non-positive worker count must map to at least one worker")
+	}
+}

@@ -3,7 +3,9 @@ package table
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -133,35 +135,165 @@ func (t *Table) SAHistogramOf(rows []int) map[int]int {
 // QIKey returns a string key identifying the exact combination of QI values
 // of row i. Rows with equal keys have identical QI values on every attribute.
 func (t *Table) QIKey(i int) string {
-	var b strings.Builder
+	b := make([]byte, 0, 4*len(t.qi[i]))
 	for j, v := range t.qi[i] {
 		if j > 0 {
-			b.WriteByte(',')
+			b = append(b, ',')
 		}
-		fmt.Fprintf(&b, "%d", v)
+		b = strconv.AppendInt(b, int64(v), 10)
 	}
-	return b.String()
+	return string(b)
 }
 
 // GroupByQI partitions row indices into groups of identical QI values. The
 // groups are returned in a deterministic order (by the QI key of their first
 // row in lexicographic order), and rows within a group preserve table order.
+//
+// Grouping is sort-based and allocation-lean instead of string-keyed: each
+// attribute's codes are dictionary-encoded to their decimal-string rank, the
+// per-row ranks are packed into one integer sort key, and every group is a
+// sub-slice of the single sorted index array. No key strings are ever
+// materialized, and groups have capped capacity, so appending to one cannot
+// bleed into its neighbor.
 func (t *Table) GroupByQI() [][]int {
-	byKey := make(map[string][]int)
-	for i := range t.sa {
-		k := t.QIKey(i)
-		byKey[k] = append(byKey[k], i)
+	n := len(t.sa)
+	if n == 0 {
+		return nil
 	}
-	keys := make([]string, 0, len(byKey))
-	for k := range byKey {
-		keys = append(keys, k)
+	d := t.schema.Dimensions()
+	// rank[j][code] positions code within attribute j's domain ordered by
+	// decimal strings; comparing ranks attribute by attribute is exactly the
+	// lexicographic QI-key order (the ',' separator sorts below every digit,
+	// which is the same shorter-number-first rule compareDecimal applies).
+	ranks := make([][]int, d)
+	shift := make([]uint, d)
+	totalBits := uint(0)
+	for j := 0; j < d; j++ {
+		c := t.schema.QI(j).Cardinality()
+		ranks[j] = decimalRanks(c)
+		shift[j] = uint(bitsFor(c))
+		totalBits += shift[j]
 	}
-	sort.Strings(keys)
-	out := make([][]int, 0, len(keys))
-	for _, k := range keys {
-		out = append(out, byKey[k])
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+
+	if totalBits <= 64 {
+		keys := make([]uint64, n)
+		for i, row := range t.qi {
+			var k uint64
+			for j, v := range row {
+				k = k<<shift[j] | uint64(ranks[j][v])
+			}
+			keys[i] = k
+		}
+		slices.SortFunc(rows, func(a, b int) int {
+			switch {
+			case keys[a] < keys[b]:
+				return -1
+			case keys[a] > keys[b]:
+				return 1
+			default:
+				return a - b // table order within a group
+			}
+		})
+		out := make([][]int, 0, 16)
+		start := 0
+		for i := 1; i <= n; i++ {
+			if i == n || keys[rows[i]] != keys[rows[start]] {
+				out = append(out, rows[start:i:i])
+				start = i
+			}
+		}
+		return out
+	}
+
+	// Wide schemas whose ranks do not fit one word: same order, rank
+	// comparison per attribute.
+	cmp := func(a, b int) int {
+		ra, rb := t.qi[a], t.qi[b]
+		for j := 0; j < d; j++ {
+			x, y := ranks[j][ra[j]], ranks[j][rb[j]]
+			if x != y {
+				if x < y {
+					return -1
+				}
+				return 1
+			}
+		}
+		return 0
+	}
+	slices.SortStableFunc(rows, cmp)
+	out := make([][]int, 0, 16)
+	start := 0
+	for i := 1; i <= n; i++ {
+		if i == n || cmp(rows[i], rows[start]) != 0 {
+			out = append(out, rows[start:i:i])
+			start = i
+		}
 	}
 	return out
+}
+
+// decimalRanks returns rank[code] = position of code among 0..c-1 ordered by
+// decimal representation ("10" before "2", "9" before "90").
+func decimalRanks(c int) []int {
+	order := make([]int, c)
+	for i := range order {
+		order[i] = i
+	}
+	slices.SortFunc(order, compareDecimal)
+	rank := make([]int, c)
+	for pos, code := range order {
+		rank[code] = pos
+	}
+	return rank
+}
+
+// bitsFor returns how many bits hold any value in [0, c).
+func bitsFor(c int) int {
+	b := 1
+	for c > 1<<b {
+		b++
+	}
+	return b
+}
+
+// compareDecimal compares the decimal representations of two non-negative
+// integers lexicographically (e.g. 10 sorts before 2, 9 before 90) using
+// only integer arithmetic.
+func compareDecimal(a, b int) int {
+	if a == b {
+		return 0
+	}
+	da, db := decimalDigits(a), decimalDigits(b)
+	sa, sb := a, b
+	for i := da; i < db; i++ {
+		sa *= 10
+	}
+	for i := db; i < da; i++ {
+		sb *= 10
+	}
+	switch {
+	case sa < sb:
+		return -1
+	case sa > sb:
+		return 1
+	case da < db:
+		return -1 // equal after scaling: a's representation prefixes b's
+	default:
+		return 1
+	}
+}
+
+func decimalDigits(v int) int {
+	d := 1
+	for v >= 10 {
+		v /= 10
+		d++
+	}
+	return d
 }
 
 // Project returns a new table containing only the QI columns given by cols

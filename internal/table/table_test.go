@@ -3,6 +3,8 @@ package table
 import (
 	"bytes"
 	"math/rand"
+	"reflect"
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -183,6 +185,80 @@ func TestGroupByQI(t *testing.T) {
 	}
 	if total != tbl.Len() {
 		t.Errorf("groups cover %d rows, want %d", total, tbl.Len())
+	}
+}
+
+// stringKeyGroups is the specification implementation of GroupByQI: bucket
+// rows by formatted QI key, order groups by sorting the key strings.
+func stringKeyGroups(tbl *Table) [][]int {
+	byKey := make(map[string][]int)
+	for i := 0; i < tbl.Len(); i++ {
+		k := tbl.QIKey(i)
+		byKey[k] = append(byKey[k], i)
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, byKey[k])
+	}
+	return out
+}
+
+// Property: the sort-based grouping returns exactly the groups and the group
+// order of the documented string-key specification, including for attribute
+// cardinalities above 9 where decimal order differs from numeric order
+// ("10" < "2").
+func TestGroupByQIMatchesStringKeyOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		tbl := New(MustSchema(
+			[]*Attribute{NewIntegerAttribute("A", 13), NewIntegerAttribute("B", 101), NewIntegerAttribute("C", 3)},
+			NewIntegerAttribute("S", 4)))
+		n := rng.Intn(60) + 1
+		for i := 0; i < n; i++ {
+			tbl.MustAppendRow([]int{rng.Intn(13), rng.Intn(101), rng.Intn(3)}, rng.Intn(4))
+		}
+		got := tbl.GroupByQI()
+		want := stringKeyGroups(tbl)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d groups, want %d", trial, len(got), len(want))
+		}
+		for g := range want {
+			if !reflect.DeepEqual(got[g], want[g]) {
+				t.Fatalf("trial %d group %d: got %v, want %v (key %q)",
+					trial, g, got[g], want[g], tbl.QIKey(want[g][0]))
+			}
+		}
+	}
+}
+
+func TestCompareDecimal(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0}, {5, 5, 0}, {1, 2, -1}, {2, 1, 1},
+		{10, 2, -1}, {2, 10, 1}, // "10" < "2"
+		{9, 90, -1}, {90, 9, 1}, // prefix sorts first
+		{100, 12, -1}, {19, 2, -1}, {21, 199, 1},
+	}
+	for _, c := range cases {
+		if got := compareDecimal(c.a, c.b); got != c.want {
+			t.Errorf("compareDecimal(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := []struct{ c, want int }{{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {256, 8}, {257, 9}}
+	for _, c := range cases {
+		if got := bitsFor(c.c); got != c.want {
+			t.Errorf("bitsFor(%d) = %d, want %d", c.c, got, c.want)
+		}
+		if limit := 1 << bitsFor(c.c); limit < c.c {
+			t.Errorf("bitsFor(%d) cannot hold cardinality", c.c)
+		}
 	}
 }
 
