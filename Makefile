@@ -1,0 +1,36 @@
+GO ?= go
+
+# Benchmarks whose before/after numbers EXPERIMENTS.md tracks.
+CORE_BENCH := BenchmarkAnonymize|BenchmarkPhase3Heavy|BenchmarkTPCore|BenchmarkTPOnSAL4
+
+.PHONY: all build test race bench bench-smoke fmt vet
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# make bench writes benchmark output to bench.txt; run it on two revisions
+# and compare with `benchstat old.txt bench.txt`
+# (go install golang.org/x/perf/cmd/benchstat@latest).
+bench:
+	$(GO) test -run '^$$' -bench '$(CORE_BENCH)' -benchmem -count 6 ./... | tee bench.txt
+	@echo
+	@echo "wrote bench.txt — compare revisions with: benchstat old.txt bench.txt"
+
+# bench-smoke executes every benchmark exactly once so benchmark code cannot
+# rot unnoticed; CI runs this on every push.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...

@@ -81,32 +81,43 @@ func (h *HybridAnonymizer) refine(t *table.Table, res *Result) (*Result, error) 
 }
 
 // validateResiduePartition checks that groups is a partition of rows and that
-// each group is l-eligible.
+// each group is l-eligible. Row membership and the per-group sensitive
+// histograms use dense arrays indexed by row and SA code respectively (rows
+// are bounded by t.Len(), codes by t.SADomainSize()), with the histogram
+// scratch cleared between groups by undoing only the touched entries.
 func validateResiduePartition(t *table.Table, rows []int, groups [][]int, l int) error {
-	want := make(map[int]bool, len(rows))
+	want := make([]bool, t.Len())
 	for _, r := range rows {
 		want[r] = true
 	}
-	seen := make(map[int]bool, len(rows))
+	seen := make([]bool, t.Len())
+	covered := 0
+	counts := make([]int, t.SADomainSize())
 	for gi, g := range groups {
 		if len(g) == 0 {
 			continue
 		}
 		for _, r := range g {
-			if !want[r] {
+			if r < 0 || r >= t.Len() || !want[r] {
 				return fmt.Errorf("group %d contains row %d which is not part of the residue", gi, r)
 			}
 			if seen[r] {
 				return fmt.Errorf("row %d appears in more than one group", r)
 			}
 			seen[r] = true
+			covered++
+			counts[t.SAValue(r)]++
 		}
-		if !eligibility.IsEligibleRows(t, g, l) {
+		eligible := eligibility.IsEligibleCounts(counts, l)
+		for _, r := range g {
+			counts[t.SAValue(r)] = 0
+		}
+		if !eligible {
 			return fmt.Errorf("group %d is not %d-eligible", gi, l)
 		}
 	}
-	if len(seen) != len(rows) {
-		return fmt.Errorf("partition covers %d of %d residue rows", len(seen), len(rows))
+	if covered != len(rows) {
+		return fmt.Errorf("partition covers %d of %d residue rows", covered, len(rows))
 	}
 	return nil
 }

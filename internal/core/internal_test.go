@@ -9,7 +9,7 @@ import (
 )
 
 func TestSAMultisetBasics(t *testing.T) {
-	m := newSAMultiset()
+	m := newSAMultiset(8)
 	if m.len() != 0 || m.height() != 0 || len(m.pillars()) != 0 {
 		t.Fatal("empty multiset has wrong stats")
 	}
@@ -47,7 +47,7 @@ func TestSAMultisetBasics(t *testing.T) {
 }
 
 func TestSAMultisetRemovePanicsOnMissing(t *testing.T) {
-	m := newSAMultiset()
+	m := newSAMultiset(8)
 	defer func() {
 		if recover() == nil {
 			t.Error("removeOne on an absent value should panic")
@@ -62,7 +62,7 @@ func TestSAMultisetQuick(t *testing.T) {
 	f := func(seed int64, opsRaw uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
 		ops := int(opsRaw%100) + 1
-		m := newSAMultiset()
+		m := newSAMultiset(5)
 		ref := make(map[int]int)
 		row := 0
 		for i := 0; i < ops; i++ {
@@ -122,10 +122,16 @@ func TestSAMultisetQuick(t *testing.T) {
 // histograms (vector notation), bypassing phases 1-2, so the phase-three
 // machinery can be exercised on the paper's example.
 func buildState(groups [][]int, residue []int, l int) *state {
-	st := &state{l: l, residue: newSAMultiset(), phase: 3}
+	domain := len(residue) + 2
+	for _, hist := range groups {
+		if len(hist)+2 > domain {
+			domain = len(hist) + 2
+		}
+	}
+	st := &state{l: l, domain: domain, residue: newSAMultiset(domain), phase: 3}
 	row := 0
 	for _, hist := range groups {
-		m := newSAMultiset()
+		m := newSAMultiset(domain)
 		for v, cnt := range hist {
 			for c := 0; c < cnt; c++ {
 				m.add(v+1, row)

@@ -5,53 +5,86 @@
 // (Section 5.6 / 6.1).
 package core
 
-import "sort"
-
 // saMultiset tracks a multiset of rows keyed by their sensitive value, with
-// the height bookkeeping of Section 5.5: counts per SA value, bucketed by
-// height, and a pillar pointer (the maximum height). It supports O(1)
-// amortized insertion and removal of a single row.
+// the height bookkeeping of Section 5.5: counts per SA value, count buckets
+// per height, and a pillar pointer (the maximum height). Removing a row and
+// adding a row of an already-present value are O(log distinct) (the binary
+// search locating the value's row stack); the first add of a new value also
+// shifts the sorted vals/rows arrays, O(distinct). Group multisets are
+// bulk-built (buildGroupMultisets) so they never pay the shift, and the
+// residue pays it once per distinct value it ever absorbs — cheap while the
+// SA domain stays dictionary-sized, which is the density assumption the
+// whole flat layout rests on.
+//
+// The implementation exploits the fact that SA values are dense dictionary
+// codes in [0, domain): every map of the original inverted-list design is a
+// flat slice. cnt is indexed by value code; vals lists the values ever
+// present in ascending order (a value whose count drops to zero stays as a
+// tombstone, so iteration order is stable and re-adding is cheap); rows holds
+// one LIFO row stack per vals entry; heightCnt[h] counts the values with
+// multiplicity exactly h, which makes the pillar pointer maintenance a pure
+// array walk. The iteration helpers (forEach*, appendPillars, firstPillar)
+// visit values in ascending code order without allocating, preserving the
+// determinism the phases rely on.
 type saMultiset struct {
-	rows    map[int][]int            // sa value -> stack of row indices
-	cnt     map[int]int              // sa value -> multiplicity
-	heights map[int]map[int]struct{} // height -> set of sa values at that height
-	size    int
-	maxH    int
+	cnt       []int32   // value code -> multiplicity h(S, v); len = SA domain size
+	vals      []int32   // values ever present, ascending; cnt may be 0 (tombstone)
+	rows      [][]int32 // rows[i] = LIFO stack of row indices carrying vals[i]
+	heightCnt []int32   // h -> number of values with multiplicity h; index 0 unused
+	size      int
+	maxH      int
 }
 
-func newSAMultiset() *saMultiset {
-	return &saMultiset{
-		rows:    make(map[int][]int),
-		cnt:     make(map[int]int),
-		heights: make(map[int]map[int]struct{}),
-	}
+// newSAMultiset returns an empty multiset over SA codes in [0, domain).
+func newSAMultiset(domain int) *saMultiset {
+	return &saMultiset{cnt: make([]int32, domain)}
 }
 
-func (m *saMultiset) setHeight(v, from, to int) {
-	if from > 0 {
-		if set, ok := m.heights[from]; ok {
-			delete(set, v)
-			if len(set) == 0 {
-				delete(m.heights, from)
-			}
+// valIndex locates v in the sorted vals slice, returning its position and
+// whether it is present (possibly as a tombstone). When absent, the position
+// is where v would be inserted to keep vals ascending.
+func (m *saMultiset) valIndex(v int32) (int, bool) {
+	lo, hi := 0, len(m.vals)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if m.vals[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
+	}
+	return lo, lo < len(m.vals) && m.vals[lo] == v
+}
+
+// shiftHeight moves one value from count bucket `from` to bucket `to`,
+// growing the bucket array on demand. Bucket 0 is not tracked.
+func (m *saMultiset) shiftHeight(from, to int) {
+	if from > 0 {
+		m.heightCnt[from]--
 	}
 	if to > 0 {
-		set, ok := m.heights[to]
-		if !ok {
-			set = make(map[int]struct{})
-			m.heights[to] = set
+		for len(m.heightCnt) <= to {
+			m.heightCnt = append(m.heightCnt, 0)
 		}
-		set[v] = struct{}{}
+		m.heightCnt[to]++
 	}
 }
 
 // add inserts row with sensitive value v.
 func (m *saMultiset) add(v, row int) {
-	old := m.cnt[v]
-	m.cnt[v] = old + 1
-	m.rows[v] = append(m.rows[v], row)
-	m.setHeight(v, old, old+1)
+	i, ok := m.valIndex(int32(v))
+	if !ok {
+		m.vals = append(m.vals, 0)
+		copy(m.vals[i+1:], m.vals[i:])
+		m.vals[i] = int32(v)
+		m.rows = append(m.rows, nil)
+		copy(m.rows[i+1:], m.rows[i:])
+		m.rows[i] = nil
+	}
+	m.rows[i] = append(m.rows[i], int32(row))
+	old := int(m.cnt[v])
+	m.cnt[v] = int32(old + 1)
+	m.shiftHeight(old, old+1)
 	m.size++
 	if old+1 > m.maxH {
 		m.maxH = old + 1
@@ -61,34 +94,27 @@ func (m *saMultiset) add(v, row int) {
 // removeOne removes one row with sensitive value v and returns its row index.
 // It panics if no such row exists (a programming error in the algorithm).
 func (m *saMultiset) removeOne(v int) int {
-	stack := m.rows[v]
-	if len(stack) == 0 {
+	i, ok := m.valIndex(int32(v))
+	if !ok || len(m.rows[i]) == 0 {
 		panic("core: removeOne from empty sensitive-value bucket")
 	}
+	stack := m.rows[i]
 	row := stack[len(stack)-1]
-	m.rows[v] = stack[:len(stack)-1]
-	old := m.cnt[v]
-	if old == 1 {
-		delete(m.cnt, v)
-		delete(m.rows, v)
-	} else {
-		m.cnt[v] = old - 1
-	}
-	m.setHeight(v, old, old-1)
+	m.rows[i] = stack[:len(stack)-1]
+	old := int(m.cnt[v])
+	m.cnt[v] = int32(old - 1)
+	m.shiftHeight(old, old-1)
 	m.size--
 	// The pillar pointer moves down monotonically overall; each step is O(1)
-	// amortized because it only decreases when its bucket empties.
-	for m.maxH > 0 {
-		if set, ok := m.heights[m.maxH]; ok && len(set) > 0 {
-			break
-		}
+	// amortized because it only decreases when its count bucket empties.
+	for m.maxH > 0 && m.heightCnt[m.maxH] == 0 {
 		m.maxH--
 	}
-	return row
+	return int(row)
 }
 
 // count returns h(·, v), the multiplicity of sensitive value v.
-func (m *saMultiset) count(v int) int { return m.cnt[v] }
+func (m *saMultiset) count(v int) int { return int(m.cnt[v]) }
 
 // height returns h(·), the pillar height.
 func (m *saMultiset) height() int { return m.maxH }
@@ -96,34 +122,9 @@ func (m *saMultiset) height() int { return m.maxH }
 // len returns the multiset cardinality.
 func (m *saMultiset) len() int { return m.size }
 
-// pillars returns the sensitive values at pillar height, in ascending order
-// for determinism. The result is empty for an empty multiset.
-func (m *saMultiset) pillars() []int {
-	if m.maxH == 0 {
-		return nil
-	}
-	set := m.heights[m.maxH]
-	out := make([]int, 0, len(set))
-	for v := range set {
-		out = append(out, v)
-	}
-	sort.Ints(out)
-	return out
-}
-
 // isPillar reports whether v is at pillar height.
 func (m *saMultiset) isPillar(v int) bool {
-	return m.maxH > 0 && m.cnt[v] == m.maxH
-}
-
-// values returns the distinct sensitive values present, in ascending order.
-func (m *saMultiset) values() []int {
-	out := make([]int, 0, len(m.cnt))
-	for v := range m.cnt {
-		out = append(out, v)
-	}
-	sort.Ints(out)
-	return out
+	return m.maxH > 0 && int(m.cnt[v]) == m.maxH
 }
 
 // eligible reports whether the multiset is l-eligible: |S| >= l * h(S).
@@ -131,12 +132,128 @@ func (m *saMultiset) eligible(l int) bool {
 	return m.size >= l*m.maxH
 }
 
+// firstPillar returns the smallest sensitive value at pillar height, or -1
+// for an empty multiset.
+func (m *saMultiset) firstPillar() int {
+	if m.maxH == 0 {
+		return -1
+	}
+	for _, v := range m.vals {
+		if int(m.cnt[v]) == m.maxH {
+			return int(v)
+		}
+	}
+	return -1
+}
+
+// appendPillars appends the sensitive values at pillar height to buf in
+// ascending order and returns the extended slice. Callers pass buf[:0] of a
+// reused buffer to snapshot the pillar set without allocating; snapshots are
+// required before removal loops, which mutate the pillar set mid-iteration.
+func (m *saMultiset) appendPillars(buf []int) []int {
+	if m.maxH == 0 {
+		return buf
+	}
+	for _, v := range m.vals {
+		if int(m.cnt[v]) == m.maxH {
+			buf = append(buf, int(v))
+		}
+	}
+	return buf
+}
+
+// appendValues appends the distinct sensitive values present to buf in
+// ascending order and returns the extended slice.
+func (m *saMultiset) appendValues(buf []int) []int {
+	for _, v := range m.vals {
+		if m.cnt[v] > 0 {
+			buf = append(buf, int(v))
+		}
+	}
+	return buf
+}
+
+// pillars returns the sensitive values at pillar height, in ascending order
+// for determinism. The result is empty for an empty multiset. It allocates
+// per call and is kept for tests and cold paths; hot paths use appendPillars
+// or iterate vals/cnt directly.
+func (m *saMultiset) pillars() []int {
+	return m.appendPillars(nil)
+}
+
+// values returns the distinct sensitive values present, in ascending order.
+// Like pillars, it is the allocating convenience form of appendValues.
+func (m *saMultiset) values() []int {
+	return m.appendValues(nil)
+}
+
 // allRows returns every row index currently in the multiset, grouped by
 // ascending sensitive value, preserving insertion order within a value.
 func (m *saMultiset) allRows() []int {
 	out := make([]int, 0, m.size)
-	for _, v := range m.values() {
-		out = append(out, m.rows[v]...)
+	for i, v := range m.vals {
+		if m.cnt[v] == 0 {
+			continue
+		}
+		for _, r := range m.rows[i] {
+			out = append(out, int(r))
+		}
+	}
+	return out
+}
+
+// buildGroupMultisets bulk-builds one multiset per QI-group with all backing
+// storage carved out of three shared arenas: one allocation for every group's
+// dense count array, one for every row stack, and one for the multiset
+// structs themselves. Row stacks keep table order within a value, exactly as
+// a sequence of add calls would. sa maps a row index to its SA code.
+func buildGroupMultisets(groups [][]int, domain int, sa func(int) int) []*saMultiset {
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	out := make([]*saMultiset, len(groups))
+	structs := make([]saMultiset, len(groups))
+	cntArena := make([]int32, len(groups)*domain)
+	rowArena := make([]int32, 0, total)
+	for gi, g := range groups {
+		m := &structs[gi]
+		m.cnt = cntArena[gi*domain : (gi+1)*domain : (gi+1)*domain]
+		for _, r := range g {
+			m.cnt[sa(r)]++
+		}
+		distinct, maxC := 0, 0
+		for v := 0; v < domain; v++ {
+			if c := int(m.cnt[v]); c > 0 {
+				distinct++
+				if c > maxC {
+					maxC = c
+				}
+			}
+		}
+		m.vals = make([]int32, 0, distinct)
+		m.rows = make([][]int32, 0, distinct)
+		m.heightCnt = make([]int32, maxC+1)
+		for v := 0; v < domain; v++ {
+			c := int(m.cnt[v])
+			if c == 0 {
+				continue
+			}
+			m.vals = append(m.vals, int32(v))
+			base := len(rowArena)
+			rowArena = rowArena[:base+c]
+			// A zero-length, capacity-c window: the fill loop below appends
+			// into the arena without ever reallocating.
+			m.rows = append(m.rows, rowArena[base:base:base+c])
+			m.heightCnt[c]++
+		}
+		for _, r := range g {
+			i, _ := m.valIndex(int32(sa(r)))
+			m.rows[i] = append(m.rows[i], int32(r))
+		}
+		m.size = len(g)
+		m.maxH = maxC
+		out[gi] = m
 	}
 	return out
 }

@@ -1,0 +1,397 @@
+package core
+
+// The map-based inverted-list implementation that the flat-array core
+// replaced, retained verbatim (types renamed ref*) as a test-only oracle.
+// The equivalence tests in equivalence_test.go assert that the production
+// core produces byte-identical Results to this reference on randomized and
+// adversarial inputs, and the core benchmarks use it as the allocation and
+// speed baseline.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ldiv/internal/eligibility"
+	"ldiv/internal/table"
+)
+
+// refMultiset is the original map-based saMultiset of Section 5.5.
+type refMultiset struct {
+	rows    map[int][]int            // sa value -> stack of row indices
+	cnt     map[int]int              // sa value -> multiplicity
+	heights map[int]map[int]struct{} // height -> set of sa values at that height
+	size    int
+	maxH    int
+}
+
+func newRefMultiset() *refMultiset {
+	return &refMultiset{
+		rows:    make(map[int][]int),
+		cnt:     make(map[int]int),
+		heights: make(map[int]map[int]struct{}),
+	}
+}
+
+func (m *refMultiset) setHeight(v, from, to int) {
+	if from > 0 {
+		if set, ok := m.heights[from]; ok {
+			delete(set, v)
+			if len(set) == 0 {
+				delete(m.heights, from)
+			}
+		}
+	}
+	if to > 0 {
+		set, ok := m.heights[to]
+		if !ok {
+			set = make(map[int]struct{})
+			m.heights[to] = set
+		}
+		set[v] = struct{}{}
+	}
+}
+
+func (m *refMultiset) add(v, row int) {
+	old := m.cnt[v]
+	m.cnt[v] = old + 1
+	m.rows[v] = append(m.rows[v], row)
+	m.setHeight(v, old, old+1)
+	m.size++
+	if old+1 > m.maxH {
+		m.maxH = old + 1
+	}
+}
+
+func (m *refMultiset) removeOne(v int) int {
+	stack := m.rows[v]
+	if len(stack) == 0 {
+		panic("core: removeOne from empty sensitive-value bucket")
+	}
+	row := stack[len(stack)-1]
+	m.rows[v] = stack[:len(stack)-1]
+	old := m.cnt[v]
+	if old == 1 {
+		delete(m.cnt, v)
+		delete(m.rows, v)
+	} else {
+		m.cnt[v] = old - 1
+	}
+	m.setHeight(v, old, old-1)
+	m.size--
+	for m.maxH > 0 {
+		if set, ok := m.heights[m.maxH]; ok && len(set) > 0 {
+			break
+		}
+		m.maxH--
+	}
+	return row
+}
+
+func (m *refMultiset) count(v int) int { return m.cnt[v] }
+func (m *refMultiset) height() int     { return m.maxH }
+func (m *refMultiset) len() int        { return m.size }
+
+func (m *refMultiset) pillars() []int {
+	if m.maxH == 0 {
+		return nil
+	}
+	set := m.heights[m.maxH]
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (m *refMultiset) isPillar(v int) bool {
+	return m.maxH > 0 && m.cnt[v] == m.maxH
+}
+
+func (m *refMultiset) values() []int {
+	out := make([]int, 0, len(m.cnt))
+	for v := range m.cnt {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (m *refMultiset) eligible(l int) bool {
+	return m.size >= l*m.maxH
+}
+
+func (m *refMultiset) allRows() []int {
+	out := make([]int, 0, m.size)
+	for _, v := range m.values() {
+		out = append(out, m.rows[v]...)
+	}
+	return out
+}
+
+// refState is the original state machine driving the three phases over
+// refMultisets, with the per-pick group rescan in phase three.
+type refState struct {
+	t *table.Table
+	l int
+
+	groups  []*refMultiset
+	residue *refMultiset
+
+	phase          int
+	removedByPhase [4]int
+	phase3Rounds   int
+}
+
+func newRefState(t *table.Table, groups [][]int, l int) *refState {
+	st := &refState{t: t, l: l, residue: newRefMultiset(), phase: 1}
+	st.groups = make([]*refMultiset, len(groups))
+	for i, g := range groups {
+		m := newRefMultiset()
+		for _, row := range g {
+			m.add(t.SAValue(row), row)
+		}
+		st.groups[i] = m
+	}
+	return st
+}
+
+func (st *refState) moveToResidue(gi, v int) {
+	row := st.groups[gi].removeOne(v)
+	st.residue.add(v, row)
+	st.removedByPhase[st.phase]++
+}
+
+func (st *refState) residueEligible() bool { return st.residue.eligible(st.l) }
+
+func (st *refState) thin(gi int) bool {
+	q := st.groups[gi]
+	return q.len() == st.l*q.height()
+}
+
+func (st *refState) conflicting(gi int) bool {
+	q := st.groups[gi]
+	if q.height() == 0 || st.residue.height() == 0 {
+		return false
+	}
+	for _, v := range q.pillars() {
+		if st.residue.isPillar(v) {
+			return true
+		}
+	}
+	return false
+}
+
+func (st *refState) dead(gi int) bool { return st.thin(gi) && st.conflicting(gi) }
+
+func (st *refState) phaseOne() {
+	st.phase = 1
+	for gi, q := range st.groups {
+		for !q.eligible(st.l) {
+			p := q.pillars()
+			st.moveToResidue(gi, p[0])
+		}
+	}
+}
+
+func (st *refState) phaseTwo() bool {
+	st.phase = 2
+	n := st.t.Len()
+
+	buckets := make([][]candEntry, n+2)
+	push := func(e candEntry) {
+		j := st.residue.count(e.v)
+		buckets[j] = append(buckets[j], e)
+	}
+	for gi, q := range st.groups {
+		if q.len() == 0 || st.dead(gi) {
+			continue
+		}
+		for _, v := range q.values() {
+			push(candEntry{gi: gi, v: v})
+		}
+	}
+
+	for j := 0; j <= n; j++ {
+		for len(buckets[j]) > 0 {
+			e := buckets[j][len(buckets[j])-1]
+			buckets[j] = buckets[j][:len(buckets[j])-1]
+
+			q := st.groups[e.gi]
+			if q.count(e.v) == 0 || st.dead(e.gi) {
+				continue
+			}
+			if cur := st.residue.count(e.v); cur != j {
+				buckets[cur] = append(buckets[cur], e)
+				continue
+			}
+
+			if !st.thin(e.gi) {
+				st.moveToResidue(e.gi, e.v)
+			} else {
+				for _, p := range q.pillars() {
+					st.moveToResidue(e.gi, p)
+				}
+			}
+			if st.residueEligible() {
+				return true
+			}
+			if q.count(e.v) > 0 && !st.dead(e.gi) {
+				push(e)
+			}
+		}
+	}
+	return st.residueEligible()
+}
+
+func (st *refState) phaseThree() {
+	st.phase = 3
+	for !st.residueEligible() {
+		st.phase3Rounds++
+		if !st.phaseThreeRound() {
+			break
+		}
+	}
+}
+
+func (st *refState) phaseThreeRound() bool {
+	progressed := false
+
+	pillarsR := st.residue.pillars()
+	remaining := make(map[int]bool, len(pillarsR))
+	for _, p := range pillarsR {
+		remaining[p] = true
+	}
+	picked := make(map[int]bool)
+	var selection []int
+	for len(remaining) > 0 {
+		best, bestOverlap := -1, -1
+		for gi, q := range st.groups {
+			if picked[gi] || q.len() == 0 {
+				continue
+			}
+			overlap := 0
+			for _, v := range q.pillars() {
+				if remaining[v] && st.residue.isPillar(v) {
+					overlap++
+				}
+			}
+			if best == -1 || overlap < bestOverlap {
+				best, bestOverlap = gi, overlap
+			}
+		}
+		if best == -1 || bestOverlap >= len(remaining) {
+			break
+		}
+		picked[best] = true
+		selection = append(selection, best)
+		conf := make(map[int]bool)
+		for _, v := range st.groups[best].pillars() {
+			if st.residue.isPillar(v) {
+				conf[v] = true
+			}
+		}
+		for p := range remaining {
+			if !conf[p] {
+				delete(remaining, p)
+			}
+		}
+	}
+	for _, gi := range selection {
+		for _, p := range st.groups[gi].pillars() {
+			st.moveToResidue(gi, p)
+			progressed = true
+		}
+		if st.residueEligible() {
+			return true
+		}
+	}
+
+	for gi, q := range st.groups {
+		if q.len() == 0 {
+			continue
+		}
+		for !st.dead(gi) && q.len() > 0 {
+			if !st.thin(gi) {
+				v, ok := st.nonPillarValue(gi)
+				if !ok {
+					break
+				}
+				st.moveToResidue(gi, v)
+				progressed = true
+			} else if st.conflicting(gi) {
+				break
+			} else {
+				for _, p := range q.pillars() {
+					st.moveToResidue(gi, p)
+					progressed = true
+				}
+			}
+			if st.residueEligible() {
+				return true
+			}
+		}
+	}
+	return progressed
+}
+
+func (st *refState) nonPillarValue(gi int) (int, bool) {
+	q := st.groups[gi]
+	best, bestCnt := -1, -1
+	for _, v := range q.values() {
+		if st.residue.isPillar(v) {
+			continue
+		}
+		c := st.residue.count(v)
+		if best == -1 || c < bestCnt {
+			best, bestCnt = v, c
+		}
+	}
+	return best, best != -1
+}
+
+func (st *refState) result(phase int) *Result {
+	res := &Result{L: st.l, TerminationPhase: phase, Phase3Rounds: st.phase3Rounds, RemovedByPhase: st.removedByPhase}
+	for _, q := range st.groups {
+		if q.len() == 0 {
+			continue
+		}
+		rows := q.allRows()
+		sort.Ints(rows)
+		res.KeptGroups = append(res.KeptGroups, rows)
+	}
+	res.Residue = st.residue.allRows()
+	if len(res.Residue) > 0 {
+		rg := make([]int, len(res.Residue))
+		copy(rg, res.Residue)
+		res.ResidueGroups = [][]int{rg}
+	}
+	res.normalize()
+	return res
+}
+
+// RefAnonymize runs the retained map-based reference implementation of TP.
+// It is exported from a _test file only, for the equivalence tests and
+// benchmarks in package core_test.
+func RefAnonymize(t *table.Table, l int, skipPhaseTwo bool) (*Result, error) {
+	if l < 1 {
+		return nil, fmt.Errorf("core: invalid l = %d", l)
+	}
+	if !eligibility.IsEligibleTable(t, l) {
+		return nil, errors.New("core: table is not l-eligible; no l-diverse generalization exists")
+	}
+	st := newRefState(t, t.GroupByQI(), l)
+
+	st.phaseOne()
+	if st.residueEligible() {
+		return st.result(1), nil
+	}
+	if !skipPhaseTwo {
+		if st.phaseTwo() {
+			return st.result(2), nil
+		}
+	}
+	st.phaseThree()
+	return st.result(3), nil
+}

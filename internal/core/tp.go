@@ -50,7 +50,7 @@ func (a *Anonymizer) AnonymizeGroups(t *table.Table, groups [][]int) (*Result, e
 	if l < 1 {
 		return nil, fmt.Errorf("core: invalid l = %d", l)
 	}
-	if !eligibility.IsEligibleTable(t, l) {
+	if !eligibility.IsEligibleCounts(t.SACounts(), l) {
 		return nil, ErrNotEligible
 	}
 	st := newState(t, groups, l)
@@ -75,8 +75,9 @@ func (a *Anonymizer) AnonymizeGroups(t *table.Table, groups [][]int) (*Result, e
 
 // state carries the mutable data structures of Section 5.5.
 type state struct {
-	t *table.Table
-	l int
+	t      *table.Table
+	l      int
+	domain int // SA code domain size; every multiset is dense over it
 
 	groups  []*saMultiset // surviving content of each QI-group
 	residue *saMultiset   // the set R of removed tuples
@@ -84,18 +85,32 @@ type state struct {
 	phase          int
 	removedByPhase [4]int
 	phase3Rounds   int
+
+	// Phase-three working set, allocated lazily on first use (most runs end
+	// in phase one or two and never pay for it). pillarGroups is the inverted
+	// group index: for each SA value that is currently a pillar of both some
+	// group and of R, the ascending list of group indices having it as a
+	// pillar. It is rebuilt once per round — group contents are immutable
+	// during the greedy selection loop — so each greedy pick costs the size
+	// of the posting lists it touches instead of a scan over every group.
+	pillarGroups [][]int32 // value -> groups with that (R-conflicting) pillar
+	filledVals   []int32   // values with non-empty pillarGroups entries
+	alive        []int32   // non-empty group indices, ascending
+	overlap      []int32   // per-group |pillars(Q) ∩ remaining|, stamp-valid
+	overlapStamp []int32   // stamp for which overlap[gi] is current
+	pickedRound  []int32   // round in which the group was picked, if any
+	touched      []int32   // groups with overlap > 0 in the current pick
+	selection    []int     // groups picked by the current round's step 1
+	remaining    []int     // pillars of R not yet covered by the selection
+	stamp        int32
+
+	pillarBuf []int // reusable snapshot buffer for pillar-shedding loops
 }
 
 func newState(t *table.Table, groups [][]int, l int) *state {
-	st := &state{t: t, l: l, residue: newSAMultiset(), phase: 1}
-	st.groups = make([]*saMultiset, len(groups))
-	for i, g := range groups {
-		m := newSAMultiset()
-		for _, row := range g {
-			m.add(t.SAValue(row), row)
-		}
-		st.groups[i] = m
-	}
+	domain := t.SADomainSize()
+	st := &state{t: t, l: l, domain: domain, residue: newSAMultiset(domain), phase: 1}
+	st.groups = buildGroupMultisets(groups, domain, t.SAValue)
 	return st
 }
 
@@ -122,11 +137,11 @@ func (st *state) thin(gi int) bool {
 // conflicting reports whether group gi has a pillar that is also a pillar of R.
 func (st *state) conflicting(gi int) bool {
 	q := st.groups[gi]
-	if q.height() == 0 || st.residue.height() == 0 {
+	if q.maxH == 0 || st.residue.maxH == 0 {
 		return false
 	}
-	for _, v := range q.pillars() {
-		if st.residue.isPillar(v) {
+	for _, v := range q.vals {
+		if int(q.cnt[v]) == q.maxH && st.residue.isPillar(int(v)) {
 			return true
 		}
 	}
@@ -145,8 +160,7 @@ func (st *state) phaseOne() {
 			// Remove one tuple from a pillar; ties broken by smallest value
 			// for determinism (the end result is unique regardless, per the
 			// paper's observation in Section 5.2).
-			p := q.pillars()
-			st.moveToResidue(gi, p[0])
+			st.moveToResidue(gi, q.firstPillar())
 		}
 	}
 }
@@ -177,8 +191,10 @@ func (st *state) phaseTwo() bool {
 		if q.len() == 0 || st.dead(gi) {
 			continue
 		}
-		for _, v := range q.values() {
-			push(candEntry{gi: gi, v: v})
+		for _, v := range q.vals {
+			if q.cnt[v] > 0 {
+				push(candEntry{gi: gi, v: int(v)})
+			}
 		}
 	}
 
@@ -203,7 +219,8 @@ func (st *state) phaseTwo() bool {
 			} else {
 				// Thin and alive, hence non-conflicting: shed one tuple from
 				// each of Q's pillars.
-				for _, p := range q.pillars() {
+				st.pillarBuf = q.appendPillars(st.pillarBuf[:0])
+				for _, p := range st.pillarBuf {
 					st.moveToResidue(e.gi, p)
 				}
 			}
@@ -224,6 +241,7 @@ func (st *state) phaseTwo() bool {
 
 func (st *state) phaseThree() {
 	st.phase = 3
+	st.initPhaseThree()
 	for !st.residueEligible() {
 		st.phase3Rounds++
 		if !st.phaseThreeRound() {
@@ -235,61 +253,119 @@ func (st *state) phaseThree() {
 	}
 }
 
-// phaseThreeRound performs one round (two steps) of phase three and reports
-// whether it removed at least one tuple.
-func (st *state) phaseThreeRound() bool {
-	l := st.l
-	progressed := false
+// initPhaseThree allocates the phase-three working set: the inverted group
+// index and the stamped per-group scratch arrays of the greedy cover.
+func (st *state) initPhaseThree() {
+	st.pillarGroups = make([][]int32, st.domain)
+	st.overlap = make([]int32, len(st.groups))
+	st.overlapStamp = make([]int32, len(st.groups))
+	st.pickedRound = make([]int32, len(st.groups))
+}
 
-	// Step 1: greedily pick groups whose non-conflicting pillars cover every
-	// pillar of R, then shed one tuple from each pillar of each picked group.
-	pillarsR := st.residue.pillars()
-	remaining := make(map[int]bool, len(pillarsR))
-	for _, p := range pillarsR {
-		remaining[p] = true
+// buildPillarIndex rebuilds the inverted group index for the current round:
+// pillarGroups[v] lists, in ascending order, the non-empty groups whose
+// pillar set contains v, restricted to values v that are pillars of R (only
+// those can appear in the uncovered set). alive is refreshed alongside.
+func (st *state) buildPillarIndex() {
+	for _, v := range st.filledVals {
+		st.pillarGroups[v] = st.pillarGroups[v][:0]
 	}
-	picked := make(map[int]bool)
-	var selection []int
-	for len(remaining) > 0 {
-		best, bestOverlap := -1, -1
-		for gi, q := range st.groups {
-			if picked[gi] || q.len() == 0 {
-				continue
-			}
-			overlap := 0
-			for _, v := range q.pillars() {
-				if remaining[v] && st.residue.isPillar(v) {
-					overlap++
+	st.filledVals = st.filledVals[:0]
+	st.alive = st.alive[:0]
+	for gi, q := range st.groups {
+		if q.size == 0 {
+			continue
+		}
+		st.alive = append(st.alive, int32(gi))
+		for _, v := range q.vals {
+			if int(q.cnt[v]) == q.maxH && st.residue.isPillar(int(v)) {
+				if len(st.pillarGroups[v]) == 0 {
+					st.filledVals = append(st.filledVals, v)
 				}
-			}
-			if best == -1 || overlap < bestOverlap {
-				best, bestOverlap = gi, overlap
+				st.pillarGroups[v] = append(st.pillarGroups[v], int32(gi))
 			}
 		}
-		if best == -1 || bestOverlap >= len(remaining) {
+	}
+}
+
+// phaseThreeRound performs one round of phase three (Section 5.4) — step 1
+// selects groups until the set P of pillars of R they all conflict on cannot
+// shrink further and sheds one tuple per pillar from each, step 2 eliminates
+// every group that step 1 revived — and reports whether it removed at least
+// one tuple.
+func (st *state) phaseThreeRound() bool {
+	progressed := false
+	round := int32(st.phase3Rounds)
+
+	// Step 1 (Section 5.4): starting from P = the pillar set of R, repeatedly
+	// pick the group Q minimizing |C(Q) ∩ P| — the number of Q's pillars that
+	// are also uncovered pillars of R — and replace P with P ∩ C(Q), until no
+	// pick can shrink P. Ties go to the smallest group index for determinism;
+	// the minimizing pick order is what the greedy set-cover analysis of
+	// Lemma 7 charges against OPT. Each selected group then sheds one tuple
+	// from each of its pillars, which preserves its l-eligibility.
+	st.buildPillarIndex()
+	st.remaining = st.residue.appendPillars(st.remaining[:0])
+	st.selection = st.selection[:0]
+	for len(st.remaining) > 0 {
+		// Count |pillars(Q) ∩ P| per group by walking the posting lists of
+		// the uncovered pillars; groups left uncounted have zero overlap.
+		st.stamp++
+		st.touched = st.touched[:0]
+		for _, p := range st.remaining {
+			for _, gi := range st.pillarGroups[p] {
+				if st.pickedRound[gi] == round {
+					continue
+				}
+				if st.overlapStamp[gi] != st.stamp {
+					st.overlapStamp[gi] = st.stamp
+					st.overlap[gi] = 0
+					st.touched = append(st.touched, gi)
+				}
+				st.overlap[gi]++
+			}
+		}
+		best, bestOverlap := -1, -1
+		// A group the counting pass never touched has overlap 0, the global
+		// minimum; the smallest such alive, unpicked index wins outright.
+		for _, gi := range st.alive {
+			if st.pickedRound[gi] == round || st.overlapStamp[gi] == st.stamp {
+				continue
+			}
+			best, bestOverlap = int(gi), 0
+			break
+		}
+		if best == -1 {
+			for _, gi := range st.touched {
+				o := int(st.overlap[gi])
+				if bestOverlap == -1 || o < bestOverlap || (o == bestOverlap && int(gi) < best) {
+					best, bestOverlap = int(gi), o
+				}
+			}
+		}
+		if best == -1 || bestOverlap >= len(st.remaining) {
 			// No group can reduce the uncovered pillar set; bail out to the
 			// caller's progress check.
 			break
 		}
-		picked[best] = true
-		selection = append(selection, best)
+		st.pickedRound[best] = round
+		st.selection = append(st.selection, best)
 		// P <- P ∩ C(Q): keep only the pillars of R that conflict with Q too.
-		conf := make(map[int]bool)
-		for _, v := range st.groups[best].pillars() {
-			if st.residue.isPillar(v) {
-				conf[v] = true
+		q := st.groups[best]
+		w := 0
+		for _, p := range st.remaining {
+			if q.isPillar(p) {
+				st.remaining[w] = p
+				w++
 			}
 		}
-		for p := range remaining {
-			if !conf[p] {
-				delete(remaining, p)
-			}
-		}
+		st.remaining = st.remaining[:w]
 	}
-	for _, gi := range selection {
+	for _, gi := range st.selection {
 		// Removing one tuple from each pillar is the atomic step that keeps
 		// the group l-eligible; only check the residue once it completes.
-		for _, p := range st.groups[gi].pillars() {
+		st.pillarBuf = st.groups[gi].appendPillars(st.pillarBuf[:0])
+		for _, p := range st.pillarBuf {
 			st.moveToResidue(gi, p)
 			progressed = true
 		}
@@ -298,14 +374,18 @@ func (st *state) phaseThreeRound() bool {
 		}
 	}
 
-	// Step 2: re-kill every group that step 1 revived.
+	// Step 2 (Section 5.4): step 1 may have changed the pillars of R, so
+	// groups that were dead (thin and conflicting) can be alive again;
+	// re-eliminate every live group. A fat group sheds tuples whose SA
+	// values are not pillars of R (least frequent in R first); a thin
+	// non-conflicting group sheds one tuple from each of its pillars; a
+	// group that becomes thin and conflicting is dead and is left alone.
 	for gi, q := range st.groups {
 		if q.len() == 0 {
 			continue
 		}
 		for !st.dead(gi) && q.len() > 0 {
 			if !st.thin(gi) {
-				// Fat: remove a tuple whose SA value is not a pillar of R.
 				v, ok := st.nonPillarValue(gi)
 				if !ok {
 					break
@@ -315,7 +395,8 @@ func (st *state) phaseThreeRound() bool {
 			} else if st.conflicting(gi) {
 				break // dead
 			} else {
-				for _, p := range q.pillars() {
+				st.pillarBuf = q.appendPillars(st.pillarBuf[:0])
+				for _, p := range st.pillarBuf {
 					st.moveToResidue(gi, p)
 					progressed = true
 				}
@@ -325,7 +406,6 @@ func (st *state) phaseThreeRound() bool {
 			}
 		}
 	}
-	_ = l
 	return progressed
 }
 
@@ -334,7 +414,11 @@ func (st *state) phaseThreeRound() bool {
 func (st *state) nonPillarValue(gi int) (int, bool) {
 	q := st.groups[gi]
 	best, bestCnt := -1, -1
-	for _, v := range q.values() {
+	for _, v32 := range q.vals {
+		if q.cnt[v32] == 0 {
+			continue
+		}
+		v := int(v32)
 		if st.residue.isPillar(v) {
 			continue
 		}

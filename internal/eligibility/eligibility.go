@@ -33,6 +33,38 @@ func IsEligibleHistogram(hist map[int]int, l int) bool {
 	return total >= l*MaxFrequency(hist)
 }
 
+// MaxFrequencyCounts is MaxFrequency for a dense count slice indexed by
+// sensitive value code (as produced by Table.SACounts): it returns the
+// largest count, and 0 for an empty slice. It is the allocation-free fast
+// path used by the flat TP core; the map-based MaxFrequency remains the
+// compatibility API for sparse histograms.
+func MaxFrequencyCounts(counts []int) int {
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// IsEligibleCounts is IsEligibleHistogram for a dense count slice indexed by
+// sensitive value code: it reports |S| >= l * h(S) where |S| is the sum of
+// the counts and h(S) their maximum. The empty multiset is l-eligible.
+func IsEligibleCounts(counts []int, l int) bool {
+	if l <= 1 {
+		return true
+	}
+	total, max := 0, 0
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	return total >= l*max
+}
+
 // IsEligibleRows reports whether the multiset formed by the given rows of t
 // is l-eligible.
 func IsEligibleRows(t *table.Table, rows []int, l int) bool {

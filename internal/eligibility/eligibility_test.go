@@ -51,6 +51,56 @@ func TestIsEligibleHistogram(t *testing.T) {
 	}
 }
 
+// TestCountsFastPaths checks the dense-slice fast paths against the map API
+// on fixed cases and random histograms.
+func TestCountsFastPaths(t *testing.T) {
+	if MaxFrequencyCounts(nil) != 0 {
+		t.Error("empty counts should have max frequency 0")
+	}
+	if got := MaxFrequencyCounts([]int{0, 3, 5, 1}); got != 5 {
+		t.Errorf("MaxFrequencyCounts = %d, want 5", got)
+	}
+	if !IsEligibleCounts(nil, 3) || !IsEligibleCounts([]int{0, 0}, 2) {
+		t.Error("empty multiset should be eligible for any l")
+	}
+	if !IsEligibleCounts([]int{7}, 1) {
+		t.Error("l <= 1 should always be eligible")
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		counts := make([]int, 1+rng.Intn(10))
+		hist := make(map[int]int)
+		for v := range counts {
+			c := rng.Intn(5)
+			counts[v] = c
+			if c > 0 {
+				hist[v] = c
+			}
+		}
+		if MaxFrequencyCounts(counts) != MaxFrequency(hist) {
+			t.Fatalf("trial %d: MaxFrequencyCounts(%v) != MaxFrequency(%v)", trial, counts, hist)
+		}
+		for l := 1; l <= 4; l++ {
+			if IsEligibleCounts(counts, l) != IsEligibleHistogram(hist, l) {
+				t.Fatalf("trial %d: IsEligibleCounts(%v, %d) disagrees with map API", trial, counts, l)
+			}
+		}
+	}
+}
+
+// TestCountsAgreeWithTable ties the fast paths to Table.SACounts.
+func TestCountsAgreeWithTable(t *testing.T) {
+	tbl := smallTable(t, []int{0, 0, 1, 2, 2, 2})
+	if got, want := MaxFrequencyCounts(tbl.SACounts()), MaxFrequency(tbl.SAHistogram()); got != want {
+		t.Errorf("MaxFrequencyCounts = %d, MaxFrequency = %d", got, want)
+	}
+	for l := 1; l <= 4; l++ {
+		if IsEligibleCounts(tbl.SACounts(), l) != IsEligibleTable(tbl, l) {
+			t.Errorf("l=%d: IsEligibleCounts disagrees with IsEligibleTable", l)
+		}
+	}
+}
+
 func TestTableEligibility(t *testing.T) {
 	tbl := smallTable(t, []int{0, 0, 1, 2})
 	if !IsEligibleTable(tbl, 2) {

@@ -112,6 +112,24 @@ func (t *Table) SACardinality() int {
 	return len(seen)
 }
 
+// SADomainSize returns the size of the sensitive attribute's code domain.
+// Every SA code stored in the table is in [0, SADomainSize): AppendRow
+// validates codes against the domain and AppendLabels extends it. Dense
+// consumers (the TP core, slice-based eligibility tests) size flat arrays
+// with this bound instead of hashing codes.
+func (t *Table) SADomainSize() int { return t.schema.SA().Cardinality() }
+
+// SACounts returns the dense sensitive-value histogram: counts[v] is the
+// number of rows whose SA code is v, with len(counts) == SADomainSize. It is
+// the flat-array counterpart of SAHistogram.
+func (t *Table) SACounts() []int {
+	counts := make([]int, t.SADomainSize())
+	for _, v := range t.sa {
+		counts[v]++
+	}
+	return counts
+}
+
 // SAHistogram returns the frequency of each sensitive value code appearing in
 // the table.
 func (t *Table) SAHistogram() map[int]int {

@@ -151,6 +151,34 @@ func TestTableBasics(t *testing.T) {
 	}
 }
 
+func TestSACountsMatchesHistogram(t *testing.T) {
+	tbl := hospitalTable(t)
+	if got, want := tbl.SADomainSize(), tbl.Schema().SA().Cardinality(); got != want {
+		t.Fatalf("SADomainSize = %d, want %d", got, want)
+	}
+	counts := tbl.SACounts()
+	if len(counts) != tbl.SADomainSize() {
+		t.Fatalf("len(SACounts) = %d, want %d", len(counts), tbl.SADomainSize())
+	}
+	hist := tbl.SAHistogram()
+	total := 0
+	for v, c := range counts {
+		if c != hist[v] {
+			t.Errorf("counts[%d] = %d, histogram says %d", v, c, hist[v])
+		}
+		total += c
+	}
+	if total != tbl.Len() {
+		t.Errorf("counts sum to %d, want %d", total, tbl.Len())
+	}
+	// Every stored code must be within the advertised domain bound.
+	for i := 0; i < tbl.Len(); i++ {
+		if v := tbl.SAValue(i); v < 0 || v >= tbl.SADomainSize() {
+			t.Fatalf("row %d: SA code %d outside [0, %d)", i, v, tbl.SADomainSize())
+		}
+	}
+}
+
 func TestAppendRowValidation(t *testing.T) {
 	tbl := New(MustSchema([]*Attribute{NewIntegerAttribute("A", 2)}, NewIntegerAttribute("B", 2)))
 	if err := tbl.AppendRow([]int{0, 1}, 0); err == nil {
