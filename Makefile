@@ -3,7 +3,7 @@ GO ?= go
 # Benchmarks whose before/after numbers EXPERIMENTS.md tracks.
 CORE_BENCH := BenchmarkAnonymize|BenchmarkPhase3Heavy|BenchmarkTPCore|BenchmarkTPOnSAL4
 
-.PHONY: all build test race bench bench-smoke fmt vet
+.PHONY: all build test race bench bench-smoke fmt vet run-server smoke-server docs-lint
 
 all: build test
 
@@ -34,3 +34,18 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# run-server starts the ldivd anonymization job server on :8080 (override
+# with LDIVD_FLAGS="-addr :9999 ...").
+run-server:
+	$(GO) run ./cmd/ldivd $(LDIVD_FLAGS)
+
+# smoke-server builds ldivd, drives one curl job through submit -> poll ->
+# result, and shuts it down; CI runs this on every push.
+smoke-server:
+	./scripts/server-smoke.sh
+
+# docs-lint fails if docs/ARCHITECTURE.md or examples/README.md reference a
+# package directory that no longer exists.
+docs-lint:
+	./scripts/docs-lint.sh

@@ -10,7 +10,7 @@ package main
 
 import (
 	"bufio"
-	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -20,68 +20,130 @@ import (
 	"ldiv"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("anonymize: ")
+// options is the parsed and validated command line of anonymize.
+type options struct {
+	in     string
+	out    string
+	qiCols []string
+	sa     string
+	l      int
+	algo   string
+	stats  bool
+}
 
-	in := flag.String("in", "", "input CSV path (default stdin)")
-	out := flag.String("out", "", "output CSV path (default stdout)")
-	qi := flag.String("qi", "", "comma-separated quasi-identifier column names (required)")
-	sa := flag.String("sa", "", "sensitive attribute column name (required)")
-	l := flag.Int("l", 2, "diversity parameter l")
-	algo := flag.String("algo", "tp+", "algorithm: tp, tp+, hilbert, tds, mondrian, incognito")
-	stats := flag.Bool("stats", true, "print information-loss statistics to stderr")
-	flag.Parse()
+// errFlagParse marks errors the ContinueOnError FlagSet has already printed
+// (together with the usage text and flag defaults), so main exits without
+// repeating them.
+var errFlagParse = errors.New("flag parse error")
 
+// parseOptions parses and validates the command line. The returned FlagSet
+// lets main print the usage text (including every flag default) when
+// validation fails, e.g. on an unknown algorithm name.
+func parseOptions(args []string) (options, *flag.FlagSet, error) {
+	fs := flag.NewFlagSet("anonymize", flag.ContinueOnError)
+	in := fs.String("in", "", "input CSV path (default stdin)")
+	out := fs.String("out", "", "output CSV path (default stdout)")
+	qi := fs.String("qi", "", "comma-separated quasi-identifier column names (required)")
+	sa := fs.String("sa", "", "sensitive attribute column name (required)")
+	l := fs.Int("l", 2, "diversity parameter l")
+	algo := fs.String("algo", "tp+", "algorithm: tp, tp+, hilbert, tds, mondrian, incognito")
+	stats := fs.Bool("stats", true, "print information-loss statistics to stderr")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return options{}, fs, err
+		}
+		return options{}, fs, fmt.Errorf("%w: %v", errFlagParse, err)
+	}
 	if *qi == "" || *sa == "" {
-		flag.Usage()
-		log.Fatal("-qi and -sa are required")
+		return options{}, fs, errors.New("-qi and -sa are required")
+	}
+	algorithm, ok := ldiv.CanonicalAlgorithm(*algo)
+	if !ok {
+		return options{}, fs, fmt.Errorf("unknown algorithm %q (want tp, tp+, hilbert, tds, mondrian or incognito)", *algo)
+	}
+	if algorithm == "anatomy" {
+		return options{}, fs, errors.New("anatomy publishes two tables and has no single-CSV form; use the ldivd server (cmd/ldivd) instead")
+	}
+	if *l < 1 {
+		return options{}, fs, fmt.Errorf("invalid -l %d: l must be at least 1", *l)
 	}
 	qiCols := strings.Split(*qi, ",")
 	for i := range qiCols {
 		qiCols[i] = strings.TrimSpace(qiCols[i])
 	}
+	return options{
+		in:     *in,
+		out:    *out,
+		qiCols: qiCols,
+		sa:     *sa,
+		l:      *l,
+		algo:   algorithm,
+		stats:  *stats,
+	}, fs, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("anonymize: ")
+
+	opts, fs, err := parseOptions(os.Args[1:])
+	if err != nil {
+		if err == flag.ErrHelp {
+			return
+		}
+		if !errors.Is(err, errFlagParse) {
+			// Semantic errors (unknown algorithm, missing columns) have not
+			// been printed yet; show them with the flag defaults.
+			fmt.Fprintln(os.Stderr, "anonymize:", err)
+			fs.Usage()
+		}
+		os.Exit(2)
+	}
 
 	r := os.Stdin
-	if *in != "" {
-		f, err := os.Open(*in)
+	if opts.in != "" {
+		f, err := os.Open(opts.in)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer f.Close()
 		r = f
 	}
-	t, err := ldiv.ReadCSV(bufio.NewReader(r), qiCols, *sa)
+	t, err := ldiv.ReadCSV(bufio.NewReader(r), opts.qiCols, opts.sa)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !ldiv.IsEligible(t, *l) {
+	if !ldiv.IsEligible(t, opts.l) {
 		log.Fatalf("the table is not %d-eligible: more than 1/%d of the tuples share a sensitive value (max feasible l is %d)",
-			*l, *l, ldiv.MaxEligibleL(t))
+			opts.l, opts.l, ldiv.MaxEligibleL(t))
 	}
 
-	gen, phase, err := run(t, *l, strings.ToLower(*algo))
+	gen, phase, err := ldiv.AnonymizeWith(t, opts.l, opts.algo)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !ldiv.IsLDiverse(t, gen.Partition, *l) {
-		log.Fatalf("internal error: output is not %d-diverse", *l)
+	if !ldiv.IsLDiverse(t, gen.Partition, opts.l) {
+		log.Fatalf("internal error: output is not %d-diverse", opts.l)
 	}
 
 	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if opts.out != "" {
+		f, err := os.Create(opts.out)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer f.Close()
 		w = f
 	}
-	if err := writeGeneralized(w, gen); err != nil {
+	bw := bufio.NewWriter(w)
+	if err := ldiv.WriteGeneralizedCSV(bw, gen); err != nil {
+		log.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
 		log.Fatal(err)
 	}
 
-	if *stats {
+	if opts.stats {
 		kl, err := ldiv.KLDivergence(gen)
 		if err != nil {
 			log.Fatal(err)
@@ -92,69 +154,4 @@ func main() {
 			fmt.Fprintf(os.Stderr, "TP terminated in phase %d\n", phase)
 		}
 	}
-}
-
-// run dispatches to the selected algorithm and returns the generalized table
-// plus the TP termination phase (0 for non-TP algorithms).
-func run(t *ldiv.Table, l int, algo string) (*ldiv.Generalized, int, error) {
-	switch algo {
-	case "tp":
-		res, err := ldiv.TP(t, l)
-		if err != nil {
-			return nil, 0, err
-		}
-		g, err := res.Generalize(t)
-		return g, res.TerminationPhase, err
-	case "tp+", "tpplus", "tp-plus":
-		res, err := ldiv.TPPlus(t, l)
-		if err != nil {
-			return nil, 0, err
-		}
-		g, err := res.Generalize(t)
-		return g, res.TerminationPhase, err
-	case "hilbert":
-		p, err := ldiv.Hilbert(t, l)
-		if err != nil {
-			return nil, 0, err
-		}
-		g, err := ldiv.Suppress(t, p)
-		return g, 0, err
-	case "tds":
-		g, err := ldiv.TDS(t, l)
-		return g, 0, err
-	case "mondrian":
-		g, err := ldiv.Mondrian(t, l)
-		return g, 0, err
-	case "incognito":
-		g, err := ldiv.Incognito(t, l)
-		return g, 0, err
-	default:
-		return nil, 0, fmt.Errorf("unknown algorithm %q (want tp, tp+, hilbert, tds, mondrian or incognito)", algo)
-	}
-}
-
-// writeGeneralized renders a generalized table as CSV using attribute labels.
-func writeGeneralized(w *os.File, g *ldiv.Generalized) error {
-	bw := bufio.NewWriter(w)
-	cw := csv.NewWriter(bw)
-	sch := g.Source.Schema()
-	header := append(sch.QINames(), sch.SA().Name())
-	if err := cw.Write(header); err != nil {
-		return err
-	}
-	rec := make([]string, g.Source.Dimensions()+1)
-	for i := 0; i < g.Source.Len(); i++ {
-		for j := 0; j < g.Source.Dimensions(); j++ {
-			rec[j] = g.Cells[i][j].Label(sch.QI(j))
-		}
-		rec[g.Source.Dimensions()] = g.Source.SALabel(i)
-		if err := cw.Write(rec); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	if err := cw.Error(); err != nil {
-		return err
-	}
-	return bw.Flush()
 }

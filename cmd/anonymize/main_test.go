@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
@@ -8,6 +9,64 @@ import (
 
 	"ldiv"
 )
+
+func TestParseOptions(t *testing.T) {
+	base := []string{"-qi", "Age,Gender", "-sa", "Disease"}
+	tests := []struct {
+		name     string
+		args     []string
+		wantErr  string // substring of the expected error, "" for success
+		wantAlgo string
+		wantL    int
+	}{
+		{name: "defaults", args: base, wantAlgo: "tp+", wantL: 2},
+		{name: "tpplus spelling", args: append([]string{"-algo", "TPPlus"}, base...), wantAlgo: "tp+", wantL: 2},
+		{name: "tp", args: append([]string{"-algo", "tp", "-l", "4"}, base...), wantAlgo: "tp", wantL: 4},
+		{name: "hilbert", args: append([]string{"-algo", "hilbert"}, base...), wantAlgo: "hilbert", wantL: 2},
+		{name: "unknown algorithm", args: append([]string{"-algo", "k-anon"}, base...), wantErr: "unknown algorithm"},
+		{name: "anatomy rejected", args: append([]string{"-algo", "anatomy"}, base...), wantErr: "use the ldivd server"},
+		{name: "missing qi and sa", args: nil, wantErr: "-qi and -sa are required"},
+		{name: "missing sa", args: []string{"-qi", "Age"}, wantErr: "-qi and -sa are required"},
+		{name: "invalid l", args: append([]string{"-l", "0"}, base...), wantErr: "invalid -l"},
+		{name: "unknown flag", args: []string{"-nope"}, wantErr: "flag parse error"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			opts, _, err := parseOptions(tc.args)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if opts.algo != tc.wantAlgo || opts.l != tc.wantL {
+				t.Errorf("opts = %+v, want algo %q l %d", opts, tc.wantAlgo, tc.wantL)
+			}
+			if len(opts.qiCols) != 2 || opts.qiCols[0] != "Age" || opts.qiCols[1] != "Gender" {
+				t.Errorf("qiCols = %v", opts.qiCols)
+			}
+		})
+	}
+}
+
+func TestUsagePrintsFlagDefaults(t *testing.T) {
+	_, fs, err := parseOptions([]string{"-algo", "nope", "-qi", "A", "-sa", "B"})
+	if err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	fs.Usage()
+	out := buf.String()
+	for _, want := range []string{"-algo", "tp+", "-l", "default 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("usage output misses %q:\n%s", want, out)
+		}
+	}
+}
 
 func sampleTable(t *testing.T) *ldiv.Table {
 	t.Helper()
@@ -28,10 +87,14 @@ func sampleTable(t *testing.T) *ldiv.Table {
 	return tbl
 }
 
-func TestRunDispatchesEveryAlgorithm(t *testing.T) {
+func TestAnonymizeWithDispatchesEveryAlgorithm(t *testing.T) {
 	tbl := sampleTable(t)
-	for _, algo := range []string{"tp", "tp+", "tpplus", "hilbert", "tds", "mondrian", "incognito"} {
-		gen, phase, err := run(tbl, 2, algo)
+	for _, spelling := range []string{"tp", "tp+", "tpplus", "hilbert", "tds", "mondrian", "incognito"} {
+		algo, ok := ldiv.CanonicalAlgorithm(spelling)
+		if !ok {
+			t.Fatalf("%s: not canonicalized", spelling)
+		}
+		gen, phase, err := ldiv.AnonymizeWith(tbl, 2, algo)
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
@@ -48,14 +111,17 @@ func TestRunDispatchesEveryAlgorithm(t *testing.T) {
 			t.Errorf("hilbert should report phase 0, got %d", phase)
 		}
 	}
-	if _, _, err := run(tbl, 2, "nope"); err == nil {
+	if _, _, err := ldiv.AnonymizeWith(tbl, 2, "nope"); err == nil {
 		t.Error("unknown algorithm accepted")
+	}
+	if _, _, err := ldiv.AnonymizeWith(tbl, 2, "anatomy"); err == nil {
+		t.Error("anatomy has no generalized form and must be rejected")
 	}
 }
 
 func TestWriteGeneralized(t *testing.T) {
 	tbl := sampleTable(t)
-	gen, _, err := run(tbl, 2, "tp+")
+	gen, _, err := ldiv.AnonymizeWith(tbl, 2, "tp+")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +130,7 @@ func TestWriteGeneralized(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := writeGeneralized(f, gen); err != nil {
+	if err := ldiv.WriteGeneralizedCSV(f, gen); err != nil {
 		t.Fatal(err)
 	}
 	if err := f.Close(); err != nil {

@@ -32,9 +32,12 @@ type options struct {
 // (together with the usage text), so main exits without repeating them.
 var errFlagParse = errors.New("flag parse error")
 
-// parseOptions parses the command line. Dataset validation lives in
-// buildTable, which has to dispatch on the name anyway.
-func parseOptions(args []string) (options, error) {
+// parseOptions parses and validates the command line. The returned FlagSet
+// lets main print the usage text (including every flag default) when
+// validation fails, e.g. on an unknown dataset name. Dataset validation also
+// lives in buildTable, which has to dispatch on the name anyway, so library
+// callers of buildTable get the same error.
+func parseOptions(args []string) (options, *flag.FlagSet, error) {
 	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
 	dataset := fs.String("dataset", "sal", "dataset to generate: sal (sensitive attribute Income) or occ (Occupation)")
 	rows := fs.Int("rows", 600000, "number of tuples")
@@ -43,17 +46,24 @@ func parseOptions(args []string) (options, error) {
 	project := fs.String("qi", "", "optional comma-separated subset of QI attributes to keep")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
-			return options{}, err
+			return options{}, fs, err
 		}
-		return options{}, fmt.Errorf("%w: %v", errFlagParse, err)
+		return options{}, fs, fmt.Errorf("%w: %v", errFlagParse, err)
 	}
-	return options{
+	opts := options{
 		dataset: strings.ToLower(*dataset),
 		rows:    *rows,
 		seed:    *seed,
 		out:     *out,
 		qi:      *project,
-	}, nil
+	}
+	if opts.dataset != "sal" && opts.dataset != "occ" {
+		return options{}, fs, fmt.Errorf("unknown dataset %q (want sal or occ)", *dataset)
+	}
+	if opts.rows < 0 {
+		return options{}, fs, fmt.Errorf("invalid -rows %d: must be non-negative", opts.rows)
+	}
+	return opts, fs, nil
 }
 
 // buildTable generates the requested dataset and applies the optional QI
@@ -92,15 +102,18 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("datagen: ")
 
-	opts, err := parseOptions(os.Args[1:])
+	opts, fs, err := parseOptions(os.Args[1:])
 	if err != nil {
 		if err == flag.ErrHelp {
 			return
 		}
-		if errors.Is(err, errFlagParse) {
-			os.Exit(2) // the FlagSet already printed the error and usage
+		if !errors.Is(err, errFlagParse) {
+			// Semantic errors (unknown dataset, bad row count) have not been
+			// printed yet; show them with the flag defaults.
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			fs.Usage()
 		}
-		log.Fatal(err)
+		os.Exit(2)
 	}
 	t, err := buildTable(opts)
 	if err != nil {

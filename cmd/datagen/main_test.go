@@ -1,12 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 )
 
 func TestParseOptionsDefaults(t *testing.T) {
-	opts, err := parseOptions(nil)
+	opts, _, err := parseOptions(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -16,12 +17,48 @@ func TestParseOptionsDefaults(t *testing.T) {
 }
 
 func TestParseOptionsNormalizesDataset(t *testing.T) {
-	opts, err := parseOptions([]string{"-dataset", "OCC", "-rows", "50", "-seed", "9"})
+	opts, _, err := parseOptions([]string{"-dataset", "OCC", "-rows", "50", "-seed", "9"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if opts.dataset != "occ" || opts.rows != 50 || opts.seed != 9 {
 		t.Errorf("overrides wrong: %+v", opts)
+	}
+}
+
+func TestParseOptionsRejectsBadInputs(t *testing.T) {
+	tests := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{name: "unknown dataset", args: []string{"-dataset", "census"}, wantErr: "unknown dataset"},
+		{name: "negative rows", args: []string{"-rows", "-5"}, wantErr: "invalid -rows"},
+		{name: "unknown flag", args: []string{"-nope"}, wantErr: "flag parse error"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := parseOptions(tc.args)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestUsagePrintsFlagDefaults(t *testing.T) {
+	_, fs, err := parseOptions([]string{"-dataset", "census"})
+	if err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	fs.Usage()
+	out := buf.String()
+	for _, want := range []string{"-dataset", "default \"sal\"", "-rows", "default 600000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("usage output misses %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -1,0 +1,158 @@
+// Command ldivd is the anonymization job server: a long-running HTTP daemon
+// that accepts CSV microdata, anonymizes it with one of the library's
+// l-diversity algorithms on a bounded worker queue, and serves the released
+// table back as CSV. See internal/service for the API and
+// docs/ARCHITECTURE.md for a walkthrough.
+//
+// Usage:
+//
+//	ldivd -addr :8080 -workers 0 -queue 64 -cache 128
+//
+// Submit a job, poll it, fetch the release:
+//
+//	curl -X POST --data-binary @patients.csv \
+//	  'http://localhost:8080/v1/jobs?algo=tp%2B&l=2&qi=Age,Gender&sa=Disease'
+//	curl http://localhost:8080/v1/jobs/j000001
+//	curl http://localhost:8080/v1/jobs/j000001/result
+//
+// On SIGINT/SIGTERM the server stops accepting jobs, drains the queue, and
+// exits cleanly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ldiv/internal/service"
+)
+
+// options is the parsed and validated command line of ldivd.
+type options struct {
+	addr     string
+	workers  int
+	queue    int
+	cache    int
+	retain   int
+	maxBody  int64
+	shutdown time.Duration
+}
+
+// errFlagParse marks errors the ContinueOnError FlagSet has already printed
+// (together with the usage text and flag defaults), so main exits without
+// repeating them.
+var errFlagParse = errors.New("flag parse error")
+
+// parseOptions parses and validates the command line. The returned FlagSet
+// lets main print the usage text (including every flag default) when
+// validation fails.
+func parseOptions(args []string) (options, *flag.FlagSet, error) {
+	fs := flag.NewFlagSet("ldivd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "concurrent anonymization jobs; 0 means one per CPU")
+	queue := fs.Int("queue", service.DefaultQueueDepth, "job backlog bound; a full backlog rejects submissions with 429; 0 accepts a job only when a worker is free")
+	cache := fs.Int("cache", service.DefaultCacheEntries, "LRU result-cache entries; negative disables caching")
+	retain := fs.Int("retain", service.DefaultJobRetention, "finished jobs kept queryable (must be positive); negative retains all forever")
+	maxBody := fs.Int64("max-body", service.DefaultMaxBodyBytes, "largest accepted CSV body in bytes")
+	shutdown := fs.Duration("shutdown-timeout", 30*time.Second, "grace period for HTTP connections after the job queue drains")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return options{}, fs, err
+		}
+		return options{}, fs, fmt.Errorf("%w: %v", errFlagParse, err)
+	}
+	if *addr == "" {
+		return options{}, fs, errors.New("-addr must not be empty")
+	}
+	if *queue < 0 {
+		return options{}, fs, fmt.Errorf("invalid -queue %d: must be non-negative", *queue)
+	}
+	if *retain == 0 {
+		return options{}, fs, errors.New("invalid -retain 0: results would be evicted before they can be fetched; use a positive bound, or a negative value to retain all")
+	}
+	if *maxBody < 1 {
+		return options{}, fs, fmt.Errorf("invalid -max-body %d: must be positive", *maxBody)
+	}
+	return options{
+		addr:     *addr,
+		workers:  *workers,
+		queue:    *queue,
+		cache:    *cache,
+		retain:   *retain,
+		maxBody:  *maxBody,
+		shutdown: *shutdown,
+	}, fs, nil
+}
+
+// serviceConfig translates the parsed flags into a service.Config. The CLI's
+// `-queue 0` means "no backlog" (accept a job only when a worker is free),
+// while Config's 0 means "default", so 0 maps to the negative sentinel.
+func serviceConfig(opts options) service.Config {
+	queueDepth := opts.queue
+	if queueDepth == 0 {
+		queueDepth = -1
+	}
+	return service.Config{
+		Workers:      opts.workers,
+		QueueDepth:   queueDepth,
+		CacheEntries: opts.cache,
+		JobRetention: opts.retain,
+		MaxBodyBytes: opts.maxBody,
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ldivd: ")
+
+	opts, fs, err := parseOptions(os.Args[1:])
+	if err != nil {
+		if err == flag.ErrHelp {
+			return
+		}
+		if !errors.Is(err, errFlagParse) {
+			fmt.Fprintln(os.Stderr, "ldivd:", err)
+			fs.Usage()
+		}
+		os.Exit(2)
+	}
+
+	svc := service.New(serviceConfig(opts))
+	httpServer := &http.Server{
+		Addr:              opts.addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpServer.ListenAndServe() }()
+	log.Printf("listening on %s (workers=%d queue=%d cache=%d)",
+		opts.addr, opts.workers, opts.queue, opts.cache)
+
+	select {
+	case err := <-serveErr:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: refuse new jobs, drain the accepted backlog (status
+	// and result endpoints keep serving meanwhile), then close connections.
+	log.Print("shutting down: draining in-flight jobs")
+	svc.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), opts.shutdown)
+	defer cancel()
+	if err := httpServer.Shutdown(shutdownCtx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	log.Print("drained; bye")
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseOptionsDefaults(t *testing.T) {
+	opts, _, err := parseOptions(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.addr != ":8080" || opts.workers != 0 || opts.queue != 64 ||
+		opts.cache != 128 || opts.retain != 1024 || opts.maxBody != 64<<20 ||
+		opts.shutdown != 30*time.Second {
+		t.Errorf("defaults wrong: %+v", opts)
+	}
+}
+
+func TestParseOptionsOverrides(t *testing.T) {
+	opts, _, err := parseOptions([]string{
+		"-addr", "127.0.0.1:9999", "-workers", "4", "-queue", "8",
+		"-cache", "-1", "-max-body", "1024", "-shutdown-timeout", "5s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.addr != "127.0.0.1:9999" || opts.workers != 4 || opts.queue != 8 ||
+		opts.cache != -1 || opts.maxBody != 1024 || opts.shutdown != 5*time.Second {
+		t.Errorf("overrides wrong: %+v", opts)
+	}
+}
+
+func TestParseOptionsRejectsBadInputs(t *testing.T) {
+	tests := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"empty addr", []string{"-addr", ""}, "-addr must not be empty"},
+		{"negative queue", []string{"-queue", "-1"}, "invalid -queue"},
+		{"zero retain", []string{"-retain", "0"}, "invalid -retain 0"},
+		{"zero max body", []string{"-max-body", "0"}, "invalid -max-body"},
+		{"unknown flag", []string{"-nope"}, "flag parse error"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, fs, err := parseOptions(tc.args)
+			fs.SetOutput(&bytes.Buffer{})
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestServiceConfigMapsZeroQueueToStrictHandoff(t *testing.T) {
+	opts, _, err := parseOptions([]string{"-queue", "0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg := serviceConfig(opts); cfg.QueueDepth >= 0 {
+		t.Errorf("-queue 0 mapped to QueueDepth %d, want the negative zero-backlog sentinel", cfg.QueueDepth)
+	}
+	opts, _, err = parseOptions([]string{"-queue", "8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg := serviceConfig(opts); cfg.QueueDepth != 8 {
+		t.Errorf("-queue 8 mapped to QueueDepth %d", cfg.QueueDepth)
+	}
+}
+
+func TestUsagePrintsFlagDefaults(t *testing.T) {
+	_, fs, err := parseOptions([]string{"-queue", "-1"})
+	if err == nil {
+		t.Fatal("negative queue accepted")
+	}
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	fs.Usage()
+	out := buf.String()
+	for _, want := range []string{"-addr", ":8080", "-queue", "default 64", "-cache", "default 128"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("usage output misses %q:\n%s", want, out)
+		}
+	}
+}

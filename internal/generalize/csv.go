@@ -1,0 +1,36 @@
+package generalize
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV renders a published table as CSV. The header is the QI attribute
+// names followed by the sensitive attribute name, matching table.WriteCSV, so
+// a generalized release round-trips through table.ReadCSV: suppressed values
+// become the categorical label "*" and sub-domains become "{v1,v2,...}"
+// labels. Rows appear in source-table order, which makes the output a
+// deterministic function of (source table, partition) — the job server's
+// result cache and its equivalence tests rely on that.
+func WriteCSV(w io.Writer, g *Generalized) error {
+	cw := csv.NewWriter(w)
+	sch := g.Source.Schema()
+	header := append(sch.QINames(), sch.SA().Name())
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("generalize: writing CSV header: %w", err)
+	}
+	d := g.Source.Dimensions()
+	rec := make([]string, d+1)
+	for i := 0; i < g.Source.Len(); i++ {
+		for j := 0; j < d; j++ {
+			rec[j] = g.Cells[i][j].Label(sch.QI(j))
+		}
+		rec[d] = g.Source.SALabel(i)
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("generalize: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

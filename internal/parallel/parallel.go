@@ -84,3 +84,83 @@ func Run(workers, n int, fn func(i int) error) error {
 	})
 	return err
 }
+
+// Queue is a long-lived bounded task queue: a fixed set of worker goroutines
+// executes submitted tasks in FIFO order, and at most `capacity` tasks wait in
+// the backlog. It is the serving-path counterpart of Map — Map fans a known
+// batch out and joins it, while a Queue accepts work for as long as the
+// process lives and applies backpressure by rejecting submissions once the
+// backlog is full (the caller turns that into, e.g., an HTTP 429).
+//
+// A Queue must be created with NewQueue. Closing it drains every task already
+// accepted, so callers can rely on "TrySubmit returned true" meaning "the task
+// will run" even during graceful shutdown.
+type Queue struct {
+	mu     sync.Mutex
+	closed bool
+	tasks  chan func()
+	wg     sync.WaitGroup
+}
+
+// NewQueue starts a queue with the given worker bound (normalized by
+// WorkerCount, so values below 1 mean one worker per CPU) and backlog
+// capacity. A negative capacity is treated as zero, in which case a
+// submission is accepted only when a worker is ready to pick it up.
+func NewQueue(workers, capacity int) *Queue {
+	if capacity < 0 {
+		capacity = 0
+	}
+	q := &Queue{tasks: make(chan func(), capacity)}
+	workers = WorkerCount(workers)
+	q.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer q.wg.Done()
+			for fn := range q.tasks {
+				runTask(fn)
+			}
+		}()
+	}
+	return q
+}
+
+// runTask executes one queued task, containing panics so a misbehaving task
+// cannot kill its worker goroutine. Tasks that need to observe their own
+// panics (to record a failure status, say) must recover themselves.
+func runTask(fn func()) {
+	defer func() { _ = recover() }()
+	fn()
+}
+
+// TrySubmit offers a task to the queue without blocking. It reports whether
+// the task was accepted; false means the backlog is full (and no worker was
+// immediately free) or the queue is closed.
+func (q *Queue) TrySubmit(fn func()) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	select {
+	case q.tasks <- fn:
+		return true
+	default:
+		return false
+	}
+}
+
+// Backlog returns the number of accepted tasks not yet picked up by a worker.
+func (q *Queue) Backlog() int { return len(q.tasks) }
+
+// Close stops accepting new tasks, waits for every already-accepted task to
+// finish, and returns. It is idempotent and safe to call concurrently with
+// TrySubmit.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.tasks)
+	}
+	q.mu.Unlock()
+	q.wg.Wait()
+}

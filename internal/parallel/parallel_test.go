@@ -109,3 +109,85 @@ func TestWorkerCount(t *testing.T) {
 		t.Error("non-positive worker count must map to at least one worker")
 	}
 }
+
+func TestQueueRunsEveryAcceptedTask(t *testing.T) {
+	q := NewQueue(4, 32)
+	var ran atomic.Int64
+	accepted := 0
+	for i := 0; i < 100; i++ {
+		if q.TrySubmit(func() { ran.Add(1) }) {
+			accepted++
+		}
+	}
+	q.Close()
+	if accepted == 0 {
+		t.Fatal("no task was accepted")
+	}
+	if int(ran.Load()) != accepted {
+		t.Errorf("ran %d tasks, accepted %d", ran.Load(), accepted)
+	}
+}
+
+func TestQueueRejectsWhenBacklogFull(t *testing.T) {
+	q := NewQueue(1, 1)
+	block := make(chan struct{})
+	// Occupy the single worker, then fill the single backlog slot.
+	if !q.TrySubmit(func() { <-block }) {
+		t.Fatal("first task rejected")
+	}
+	// The worker may not have picked the first task up yet; keep feeding
+	// blockers until the backlog slot is stably occupied.
+	for !q.TrySubmit(func() { <-block }) {
+	}
+	var overflowRan atomic.Bool
+	rejected := false
+	for i := 0; i < 100; i++ {
+		if !q.TrySubmit(func() { overflowRan.Store(true) }) {
+			rejected = true
+			break
+		}
+	}
+	if !rejected {
+		t.Error("full backlog accepted 100 extra tasks")
+	}
+	if q.Backlog() == 0 {
+		t.Error("backlog reported empty while a task is parked")
+	}
+	close(block)
+	q.Close()
+	if q.Backlog() != 0 {
+		t.Errorf("backlog %d after Close", q.Backlog())
+	}
+	_ = overflowRan.Load() // accepted overflow tasks (if any) ran during Close
+}
+
+func TestQueueCloseDrainsAndRejects(t *testing.T) {
+	q := NewQueue(2, 16)
+	var ran atomic.Int64
+	for i := 0; i < 10; i++ {
+		if !q.TrySubmit(func() { ran.Add(1) }) {
+			t.Fatalf("task %d rejected with free backlog", i)
+		}
+	}
+	q.Close()
+	if ran.Load() != 10 {
+		t.Errorf("Close returned with %d of 10 tasks run", ran.Load())
+	}
+	if q.TrySubmit(func() {}) {
+		t.Error("closed queue accepted a task")
+	}
+	q.Close() // idempotent
+}
+
+func TestQueueSurvivesPanickingTask(t *testing.T) {
+	q := NewQueue(1, 4)
+	if !q.TrySubmit(func() { panic("boom") }) {
+		t.Fatal("panicking task rejected")
+	}
+	done := make(chan struct{})
+	if !q.TrySubmit(func() { close(done) }) {
+		t.Fatal("follow-up task rejected")
+	}
+	<-done // the worker survived the panic and kept serving
+	q.Close()
+}

@@ -1,0 +1,74 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a fixed-capacity LRU cache from submission key (table digest
+// plus parameters, see Params.cacheKey) to finished job results. Repeated
+// submissions of the same dataset with the same parameters are served from it
+// without recomputation — sound because every algorithm is a deterministic
+// function of (CSV bytes, parameters).
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List               // front = most recently used
+	items map[string]*list.Element // key -> element whose Value is *cacheEntry
+}
+
+// cacheEntry is one cached (key, result) pair.
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+// newResultCache returns an LRU cache holding up to capacity results. A
+// capacity below 1 disables caching (get always misses, put is a no-op).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached result for key, marking it most recently used.
+func (c *resultCache) get(key string) (*Result, bool) {
+	if c.cap < 1 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put stores a result under key, evicting the least recently used entry when
+// the cache is full. Results are immutable once cached, so the same *Result
+// may be handed to any number of jobs.
+func (c *resultCache) put(key string, res *Result) {
+	if c.cap < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	for c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+}
+
+// len returns the number of cached results.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,232 @@
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/csv"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ldiv"
+)
+
+// Params are the anonymization parameters of a job, taken from the submit
+// request's query string.
+type Params struct {
+	// Algorithm is the canonical algorithm name (one of ldiv.Algorithms,
+	// normalized by ldiv.CanonicalAlgorithm).
+	Algorithm string `json:"algorithm"`
+	// L is the diversity parameter.
+	L int `json:"l"`
+	// QI names the CSV columns treated as quasi-identifiers, in order.
+	QI []string `json:"qi"`
+	// SA names the sensitive-attribute CSV column.
+	SA string `json:"sa"`
+	// Projection optionally restricts the anonymized table to a subset of the
+	// QI columns (applied after reading, so the release keeps only these).
+	Projection []string `json:"projection,omitempty"`
+}
+
+// cacheKey derives the result-cache key of a submission: the digest of the
+// raw CSV body combined with every parameter that influences the result.
+// Identical bytes with identical parameters always produce identical results
+// (every algorithm is deterministic), which is what makes the cache sound.
+func (p Params) cacheKey(body []byte) string {
+	h := sha256.New()
+	h.Write(body)
+	fmt.Fprintf(h, "\x00%s\x00%d\x00%s\x00%s\x00%s",
+		p.Algorithm, p.L, strings.Join(p.QI, ","), p.SA, strings.Join(p.Projection, ","))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Status is the lifecycle state of a job.
+type Status string
+
+// The four job states. A job moves queued -> running -> done|failed; cache
+// hits are born done.
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// Result is the outcome of a finished job: the released table(s) as CSV plus
+// the information-loss metrics the evaluation tracks.
+type Result struct {
+	// CSV is the released table. For the generalization algorithms it is the
+	// generalized table (stars as '*'); for anatomy it is the published
+	// quasi-identifier table (QIT).
+	CSV []byte
+	// SensitiveCSV is anatomy's second release, the sensitive table (ST);
+	// nil for every other algorithm.
+	SensitiveCSV []byte
+	// Rows is the number of input tuples anonymized.
+	Rows int
+	// Groups is the number of published QI-groups (anatomy: buckets).
+	Groups int
+	// Stars counts suppressed cells (0 for anatomy, which distorts no QI value).
+	Stars int
+	// SuppressedTuples counts rows with at least one star.
+	SuppressedTuples int
+	// KL is the KL-divergence of Equation 2; valid only when HasKL is true
+	// (anatomy's two-table release has no induced single-table distribution).
+	KL    float64
+	HasKL bool
+	// TerminationPhase is the TP phase that ended the run (0 for non-TP
+	// algorithms).
+	TerminationPhase int
+	// Runtime is the anonymization wall-clock time, excluding queue wait.
+	Runtime time.Duration
+}
+
+// Job is one submitted anonymization task. Mutable fields are guarded by mu;
+// read them through snapshot.
+type Job struct {
+	ID     string
+	Params Params
+
+	mu        sync.Mutex
+	status    Status
+	err       string
+	cached    bool
+	submitted time.Time
+	result    *Result
+}
+
+// snapshot returns a consistent copy of the job's mutable state.
+func (j *Job) snapshot() (status Status, errMsg string, cached bool, res *Result) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status, j.err, j.cached, j.result
+}
+
+// setRunning marks the job running.
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.mu.Unlock()
+}
+
+// setDone marks the job done with its result.
+func (j *Job) setDone(res *Result) {
+	j.mu.Lock()
+	j.status = StatusDone
+	j.result = res
+	j.mu.Unlock()
+}
+
+// setFailed marks the job failed with an error message.
+func (j *Job) setFailed(msg string) {
+	j.mu.Lock()
+	j.status = StatusFailed
+	j.err = msg
+	j.mu.Unlock()
+}
+
+// jobView is the JSON representation of a job returned by the status
+// endpoint (and echoed by submit).
+type jobView struct {
+	ID          string       `json:"id"`
+	Status      Status       `json:"status"`
+	Params      Params       `json:"params"`
+	Cached      bool         `json:"cached"`
+	SubmittedAt time.Time    `json:"submitted_at"`
+	Error       string       `json:"error,omitempty"`
+	Metrics     *metricsView `json:"metrics,omitempty"`
+	ResultURL   string       `json:"result_url,omitempty"`
+}
+
+// metricsView is the JSON shape of a finished job's metrics.
+type metricsView struct {
+	Rows             int      `json:"rows"`
+	Groups           int      `json:"groups"`
+	Stars            int      `json:"stars"`
+	SuppressedTuples int      `json:"suppressed_tuples"`
+	KLDivergence     *float64 `json:"kl_divergence,omitempty"`
+	TerminationPhase int      `json:"termination_phase,omitempty"`
+	RuntimeMS        float64  `json:"runtime_ms"`
+}
+
+// view renders the job for JSON encoding.
+func (j *Job) view() jobView {
+	status, errMsg, cached, res := j.snapshot()
+	v := jobView{
+		ID:          j.ID,
+		Status:      status,
+		Params:      j.Params,
+		Cached:      cached,
+		SubmittedAt: j.submitted,
+		Error:       errMsg,
+	}
+	if res != nil {
+		m := &metricsView{
+			Rows:             res.Rows,
+			Groups:           res.Groups,
+			Stars:            res.Stars,
+			SuppressedTuples: res.SuppressedTuples,
+			TerminationPhase: res.TerminationPhase,
+			RuntimeMS:        float64(res.Runtime) / float64(time.Millisecond),
+		}
+		if res.HasKL {
+			kl := res.KL
+			m.KLDivergence = &kl
+		}
+		v.Metrics = m
+		v.ResultURL = "/v1/jobs/" + j.ID + "/result"
+	}
+	return v
+}
+
+// anatomyQITCSV renders anatomy's quasi-identifier table: the exact QI labels
+// of every row plus its bucket identifier.
+func anatomyQITCSV(t *ldiv.Table, an *ldiv.Anatomy) ([]byte, error) {
+	var b bytes.Buffer
+	header := append([]string{"Row"}, t.Schema().QINames()...)
+	header = append(header, "GroupID")
+	rows := an.QIT(t)
+	if err := writeCSVRows(&b, header, len(rows), func(i int) []string {
+		rec := make([]string, 0, len(header))
+		rec = append(rec, fmt.Sprint(rows[i].Row))
+		rec = append(rec, rows[i].QI...)
+		return append(rec, fmt.Sprint(rows[i].GroupID))
+	}); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// anatomySTCSV renders anatomy's sensitive table: per bucket, the sensitive
+// labels with their multiplicities, sorted by (GroupID, label order).
+func anatomySTCSV(t *ldiv.Table, an *ldiv.Anatomy) ([]byte, error) {
+	var b bytes.Buffer
+	rows := an.ST(t)
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].GroupID < rows[j].GroupID })
+	header := []string{"GroupID", t.Schema().SA().Name(), "Count"}
+	if err := writeCSVRows(&b, header, len(rows), func(i int) []string {
+		return []string{fmt.Sprint(rows[i].GroupID), rows[i].SALabel, fmt.Sprint(rows[i].Count)}
+	}); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// writeCSVRows writes a header and n records produced by rec as CSV.
+func writeCSVRows(w io.Writer, header []string, n int, rec func(i int) []string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if err := cw.Write(rec(i)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,126 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// serverMetrics holds the counters and latency histograms exposed by
+// GET /metrics in the Prometheus text exposition format. Counters are
+// lock-free; the per-algorithm histograms share one mutex (they are touched
+// once per finished job, far off any hot path).
+type serverMetrics struct {
+	jobsSubmitted  atomic.Int64 // accepted submissions, including cache hits
+	jobsQueued     atomic.Int64 // gauge: accepted, not yet running
+	jobsRunning    atomic.Int64 // gauge: currently executing
+	jobsDone       atomic.Int64 // finished successfully (including cache hits)
+	jobsFailed     atomic.Int64 // finished with an error
+	jobsRejected   atomic.Int64 // rejected with 429 (queue full) or 503 (draining)
+	rowsAnonymized atomic.Int64
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+
+	mu        sync.Mutex
+	latencies map[string]*histogram // algorithm -> job latency histogram
+}
+
+// latencyBuckets are the histogram upper bounds in seconds, chosen to span
+// sub-millisecond toy tables up to the paper's 600k-row configuration.
+var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60}
+
+// histogram is a fixed-bucket cumulative latency histogram.
+type histogram struct {
+	counts []int64 // counts[i] = observations <= latencyBuckets[i]
+	count  int64
+	sum    float64
+}
+
+// newServerMetrics returns an empty metrics registry.
+func newServerMetrics() *serverMetrics {
+	return &serverMetrics{latencies: make(map[string]*histogram)}
+}
+
+// observeLatency records one finished job of the given algorithm.
+func (m *serverMetrics) observeLatency(algorithm string, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.latencies[algorithm]
+	if h == nil {
+		h = &histogram{counts: make([]int64, len(latencyBuckets))}
+		m.latencies[algorithm] = h
+	}
+	for i, ub := range latencyBuckets {
+		if seconds <= ub {
+			h.counts[i]++
+		}
+	}
+	h.count++
+	h.sum += seconds
+}
+
+// writeTo renders every metric in the Prometheus text format, with algorithms
+// sorted so the output is deterministic.
+func (m *serverMetrics) writeTo(w io.Writer) error {
+	counters := []struct {
+		name, help, kind string
+		value            int64
+	}{
+		{"ldivd_jobs_submitted_total", "Jobs accepted for execution, including cache hits.", "counter", m.jobsSubmitted.Load()},
+		{"ldivd_jobs_queued", "Jobs accepted but not yet running.", "gauge", m.jobsQueued.Load()},
+		{"ldivd_jobs_running", "Jobs currently executing.", "gauge", m.jobsRunning.Load()},
+		{"ldivd_jobs_done_total", "Jobs finished successfully.", "counter", m.jobsDone.Load()},
+		{"ldivd_jobs_failed_total", "Jobs finished with an error.", "counter", m.jobsFailed.Load()},
+		{"ldivd_jobs_rejected_total", "Submissions rejected by backpressure or drain.", "counter", m.jobsRejected.Load()},
+		{"ldivd_rows_anonymized_total", "Input tuples across successfully finished jobs.", "counter", m.rowsAnonymized.Load()},
+		{"ldivd_cache_hits_total", "Submissions served from the result cache.", "counter", m.cacheHits.Load()},
+		{"ldivd_cache_misses_total", "Submissions that had to compute a fresh result.", "counter", m.cacheMisses.Load()},
+	}
+	for _, c := range counters {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", c.name, c.help, c.name, c.kind, c.name, c.value); err != nil {
+			return err
+		}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.latencies) == 0 {
+		return nil
+	}
+	algos := make([]string, 0, len(m.latencies))
+	for a := range m.latencies {
+		algos = append(algos, a)
+	}
+	sort.Strings(algos)
+	const name = "ldivd_job_duration_seconds"
+	if _, err := fmt.Fprintf(w, "# HELP %s Anonymization latency per algorithm, excluding queue wait.\n# TYPE %s histogram\n", name, name); err != nil {
+		return err
+	}
+	for _, a := range algos {
+		h := m.latencies[a]
+		for i, ub := range latencyBuckets {
+			if _, err := fmt.Fprintf(w, "%s_bucket{algorithm=%q,le=%q} %d\n", name, a, formatBound(ub), h.counts[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{algorithm=%q,le=\"+Inf\"} %d\n", name, a, h.count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum{algorithm=%q} %g\n%s_count{algorithm=%q} %d\n", name, a, h.sum, name, a, h.count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatBound renders a bucket upper bound the way Prometheus expects
+// (shortest decimal form, no exponent for these magnitudes).
+func formatBound(ub float64) string {
+	if ub == math.Trunc(ub) {
+		return fmt.Sprintf("%d", int64(ub))
+	}
+	return fmt.Sprintf("%g", ub)
+}

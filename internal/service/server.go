@@ -1,0 +1,505 @@
+// Package service implements the ldivd anonymization job server: an HTTP API
+// that accepts CSV microdata, anonymizes it asynchronously with one of the
+// library's algorithms on a bounded worker queue, and serves the released
+// table back as CSV.
+//
+// The API surface (see docs/ARCHITECTURE.md for the full walkthrough):
+//
+//	POST /v1/jobs?algo=tp%2B&l=4&qi=Age,Gender&sa=Disease   body: CSV
+//	GET  /v1/jobs/{id}            job status and information-loss metrics
+//	GET  /v1/jobs/{id}/result     released table as CSV (anatomy: ?part=st)
+//	GET  /healthz                 liveness
+//	GET  /metrics                 Prometheus text-format counters
+//
+// Submissions are validated synchronously (unknown columns, malformed CSV and
+// l-ineligible tables fail the POST with a typed JSON error), executed
+// asynchronously on a parallel.Queue, and memoized in an LRU cache keyed by
+// the digest of the CSV body plus the parameters, so resubmitting the same
+// dataset is O(1). Closing the server drains every accepted job.
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ldiv"
+	"ldiv/internal/parallel"
+)
+
+// Config tunes a Server. The zero value gets sensible defaults from New.
+type Config struct {
+	// Workers bounds the number of concurrently executing jobs; values below
+	// 1 mean one worker per CPU (parallel.WorkerCount).
+	Workers int
+	// QueueDepth bounds the backlog of accepted-but-not-running jobs; a full
+	// backlog rejects submissions with HTTP 429. Default 64.
+	QueueDepth int
+	// CacheEntries bounds the LRU result cache; 0 picks the default (128),
+	// negative disables caching.
+	CacheEntries int
+	// MaxBodyBytes bounds the CSV request body; larger submissions fail with
+	// HTTP 413. Default 64 MiB.
+	MaxBodyBytes int64
+	// JobRetention bounds how many finished (done or failed) jobs stay
+	// queryable; beyond it the oldest finished job — and its result CSV — is
+	// evicted, so server memory does not grow with the total number of
+	// submissions ever made. Queued and running jobs are never evicted.
+	// 0 picks the default (1024), negative retains every job forever.
+	JobRetention int
+}
+
+// Default Config values applied by New.
+const (
+	DefaultQueueDepth   = 64
+	DefaultCacheEntries = 128
+	DefaultMaxBodyBytes = 64 << 20
+	DefaultJobRetention = 1024
+)
+
+// Server is the anonymization job server. Create it with New, mount
+// Handler on an http.Server, and Close it to drain.
+type Server struct {
+	cfg     Config
+	queue   *parallel.Queue
+	cache   *resultCache
+	metrics *serverMetrics
+	mux     *http.ServeMux
+
+	mu       sync.RWMutex
+	jobs     map[string]*Job
+	finished []string // finished job IDs, oldest first, for retention eviction
+
+	nextID    atomic.Int64
+	draining  atomic.Bool
+	closeOnce sync.Once
+
+	// run executes a prepared job; tests replace it to control timing.
+	run func(t *ldiv.Table, p Params) (*Result, error)
+}
+
+// New returns a started server with cfg's zero fields defaulted.
+func New(cfg Config) *Server {
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = DefaultCacheEntries
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.JobRetention == 0 {
+		cfg.JobRetention = DefaultJobRetention
+	}
+	s := &Server{
+		cfg:     cfg,
+		queue:   parallel.NewQueue(cfg.Workers, cfg.QueueDepth),
+		cache:   newResultCache(cfg.CacheEntries),
+		metrics: newServerMetrics(),
+		jobs:    make(map[string]*Job),
+		run:     runPrepared,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops accepting new jobs (submissions fail with HTTP 503) and blocks
+// until every already-accepted job has finished, so no accepted work is ever
+// lost to a graceful shutdown. Idempotent.
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.closeOnce.Do(s.queue.Close)
+}
+
+// apiError is the JSON error envelope of every non-2xx response.
+type apiError struct {
+	// Code is a stable machine-readable error identifier.
+	Code string `json:"code"`
+	// Message is a human-readable description.
+	Message string `json:"message"`
+}
+
+// errorBody wraps an apiError for encoding as {"error": {...}}.
+type errorBody struct {
+	Error apiError `json:"error"`
+}
+
+// writeError sends a typed JSON error response.
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: apiError{Code: code, Message: message}})
+}
+
+// writeJSON sends a JSON success response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// parseParams extracts and validates the anonymization parameters from a
+// submit request's query string.
+func parseParams(q url.Values) (Params, *apiError) {
+	name := q.Get("algo")
+	if name == "" {
+		name = q.Get("algorithm")
+	}
+	if name == "" {
+		name = "tp+"
+	}
+	algo, ok := ldiv.CanonicalAlgorithm(name)
+	if !ok {
+		return Params{}, &apiError{Code: "invalid_algorithm",
+			Message: fmt.Sprintf("unknown algorithm %q (want one of %s)", name, strings.Join(ldiv.Algorithms, ", "))}
+	}
+	lStr := q.Get("l")
+	if lStr == "" {
+		return Params{}, &apiError{Code: "invalid_l", Message: "missing required parameter l"}
+	}
+	l, err := strconv.Atoi(lStr)
+	if err != nil {
+		return Params{}, &apiError{Code: "invalid_l", Message: fmt.Sprintf("l %q is not an integer", lStr)}
+	}
+	if l < 2 {
+		return Params{}, &apiError{Code: "invalid_l", Message: fmt.Sprintf("l must be at least 2, got %d", l)}
+	}
+	qi := splitList(q.Get("qi"))
+	if len(qi) == 0 {
+		return Params{}, &apiError{Code: "missing_qi", Message: "missing required parameter qi (comma-separated QI column names)"}
+	}
+	sa := strings.TrimSpace(q.Get("sa"))
+	if sa == "" {
+		return Params{}, &apiError{Code: "missing_sa", Message: "missing required parameter sa (sensitive column name)"}
+	}
+	return Params{
+		Algorithm:  algo,
+		L:          l,
+		QI:         qi,
+		SA:         sa,
+		Projection: splitList(q.Get("projection")),
+	}, nil
+}
+
+// splitList splits a comma-separated parameter, trimming blanks.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// prepare parses the CSV body into a table, applies the projection, and
+// checks l-eligibility, so submissions fail fast with a typed error instead
+// of queueing doomed work.
+func prepare(body []byte, p Params) (*ldiv.Table, *apiError) {
+	t, err := ldiv.ReadCSV(bytes.NewReader(body), p.QI, p.SA)
+	if err != nil {
+		return nil, &apiError{Code: "bad_csv", Message: err.Error()}
+	}
+	if t.Len() == 0 {
+		return nil, &apiError{Code: "bad_csv", Message: "the CSV contains a header but no rows"}
+	}
+	if len(p.Projection) > 0 {
+		t, err = t.ProjectNames(p.Projection)
+		if err != nil {
+			return nil, &apiError{Code: "bad_projection", Message: err.Error()}
+		}
+	}
+	if !ldiv.IsEligible(t, p.L) {
+		return nil, &apiError{Code: "not_eligible",
+			Message: fmt.Sprintf("the table is not %d-eligible: more than 1/%d of the tuples share a sensitive value (max feasible l is %d)",
+				p.L, p.L, ldiv.MaxEligibleL(t))}
+	}
+	return t, nil
+}
+
+// runPrepared executes the requested algorithm on an already-validated table.
+// It is the production value of Server.run.
+func runPrepared(t *ldiv.Table, p Params) (*Result, error) {
+	start := time.Now()
+	if p.Algorithm == "anatomy" {
+		an, err := ldiv.Anatomize(t, p.L)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{Rows: t.Len(), Groups: len(an.Groups), Runtime: time.Since(start)}
+		if res.CSV, err = anatomyQITCSV(t, an); err != nil {
+			return nil, err
+		}
+		if res.SensitiveCSV, err = anatomySTCSV(t, an); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	gen, phase, err := ldiv.AnonymizeWith(t, p.L, p.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	runtime := time.Since(start)
+	kl, err := ldiv.KLDivergence(gen)
+	if err != nil {
+		return nil, err
+	}
+	var b bytes.Buffer
+	if err := ldiv.WriteGeneralizedCSV(&b, gen); err != nil {
+		return nil, err
+	}
+	return &Result{
+		CSV:              b.Bytes(),
+		Rows:             t.Len(),
+		Groups:           gen.Partition.Size(),
+		Stars:            gen.Stars(),
+		SuppressedTuples: gen.SuppressedTuples(),
+		KL:               kl,
+		HasKL:            true,
+		TerminationPhase: phase,
+		Runtime:          runtime,
+	}, nil
+}
+
+// handleSubmit accepts a CSV body plus query parameters, validates both, and
+// either answers immediately from the result cache or enqueues a job.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "shutting_down", "the server is draining and accepts no new jobs")
+		return
+	}
+	params, perr := parseParams(r.URL.Query())
+	if perr != nil {
+		writeError(w, http.StatusBadRequest, perr.Code, perr.Message)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Sprintf("request body exceeds the %d-byte limit", tooLarge.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad_body", err.Error())
+		return
+	}
+	if len(body) == 0 {
+		writeError(w, http.StatusBadRequest, "bad_csv", "empty request body; POST the microdata as CSV")
+		return
+	}
+
+	key := params.cacheKey(body)
+	if res, ok := s.cache.get(key); ok {
+		// The job is born done; all fields are set before register publishes
+		// it, so no concurrent reader can observe a half-initialized job.
+		job := s.newJob(params)
+		job.cached = true
+		job.status = StatusDone
+		job.result = res
+		s.register(job)
+		s.finishJob(job.ID)
+		s.metrics.jobsSubmitted.Add(1)
+		s.metrics.jobsDone.Add(1)
+		s.metrics.cacheHits.Add(1)
+		writeJSON(w, http.StatusOK, job.view())
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+
+	t, perr := prepare(body, params)
+	if perr != nil {
+		status := http.StatusBadRequest
+		if perr.Code == "not_eligible" {
+			status = http.StatusUnprocessableEntity
+		}
+		writeError(w, status, perr.Code, perr.Message)
+		return
+	}
+
+	job := s.newJob(params)
+	s.register(job)
+	task := func() {
+		s.metrics.jobsQueued.Add(-1)
+		s.metrics.jobsRunning.Add(1)
+		defer s.metrics.jobsRunning.Add(-1)
+		job.setRunning()
+		res, err := s.runSafely(t, params)
+		if err != nil {
+			job.setFailed(err.Error())
+			s.finishJob(job.ID)
+			s.metrics.jobsFailed.Add(1)
+			return
+		}
+		job.setDone(res)
+		s.finishJob(job.ID)
+		s.cache.put(key, res)
+		s.metrics.jobsDone.Add(1)
+		s.metrics.rowsAnonymized.Add(int64(res.Rows))
+		s.metrics.observeLatency(params.Algorithm, res.Runtime.Seconds())
+	}
+	s.metrics.jobsQueued.Add(1)
+	if !s.queue.TrySubmit(task) {
+		s.metrics.jobsQueued.Add(-1)
+		s.metrics.jobsRejected.Add(1)
+		s.dropJob(job.ID)
+		if s.draining.Load() {
+			writeError(w, http.StatusServiceUnavailable, "shutting_down", "the server is draining and accepts no new jobs")
+			return
+		}
+		writeError(w, http.StatusTooManyRequests, "queue_full",
+			fmt.Sprintf("the job backlog is full (%d waiting); retry later", s.queue.Backlog()))
+		return
+	}
+	s.metrics.jobsSubmitted.Add(1)
+	writeJSON(w, http.StatusAccepted, job.view())
+}
+
+// runSafely executes a job, converting panics into errors so one bad input
+// cannot take a worker (or the process) down.
+func (s *Server) runSafely(t *ldiv.Table, p Params) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("service: job panicked: %v", r)
+		}
+	}()
+	return s.run(t, p)
+}
+
+// newJob allocates a queued job. It is not yet visible to lookups — the
+// caller finishes initializing it and then calls register, so concurrent
+// status requests never see a partially-built job.
+func (s *Server) newJob(params Params) *Job {
+	return &Job{
+		ID:        fmt.Sprintf("j%06d", s.nextID.Add(1)),
+		Params:    params,
+		status:    StatusQueued,
+		submitted: time.Now().UTC(),
+	}
+}
+
+// register publishes a job to the status/result endpoints.
+func (s *Server) register(job *Job) {
+	s.mu.Lock()
+	s.jobs[job.ID] = job
+	s.mu.Unlock()
+}
+
+// finishJob records that a job reached a terminal state and evicts the
+// oldest finished jobs beyond the retention bound, so memory does not grow
+// with the lifetime submission count.
+func (s *Server) finishJob(id string) {
+	if s.cfg.JobRetention < 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.finished = append(s.finished, id)
+	for len(s.finished) > s.cfg.JobRetention {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+}
+
+// lookup returns the job with the given id, if any.
+func (s *Server) lookup(id string) (*Job, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	job, ok := s.jobs[id]
+	return job, ok
+}
+
+// dropJob removes a job that was never accepted by the queue.
+func (s *Server) dropJob(id string) {
+	s.mu.Lock()
+	delete(s.jobs, id)
+	s.mu.Unlock()
+}
+
+// handleStatus reports a job's state and, once finished, its metrics.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.view())
+}
+
+// handleResult streams a finished job's released table as CSV. Anatomy jobs
+// additionally serve their sensitive table under ?part=st.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no job %q", r.PathValue("id")))
+		return
+	}
+	status, errMsg, _, res := job.snapshot()
+	switch status {
+	case StatusFailed:
+		writeError(w, http.StatusConflict, "job_failed", errMsg)
+		return
+	case StatusQueued, StatusRunning:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, "job_not_done", fmt.Sprintf("job %s is %s", job.ID, status))
+		return
+	}
+	data := res.CSV
+	switch part := r.URL.Query().Get("part"); part {
+	case "", "main":
+	case "st":
+		if res.SensitiveCSV == nil {
+			writeError(w, http.StatusNotFound, "no_such_part",
+				fmt.Sprintf("algorithm %q publishes a single table; ?part=st exists only for anatomy", job.Params.Algorithm))
+			return
+		}
+		data = res.SensitiveCSV
+	default:
+		writeError(w, http.StatusNotFound, "no_such_part", fmt.Sprintf("unknown result part %q (want main or st)", part))
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// handleHealthz reports liveness (and whether a drain is in progress).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"draining": s.draining.Load(),
+	})
+}
+
+// handleMetrics renders the counters in the Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.writeTo(w)
+}

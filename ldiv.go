@@ -18,10 +18,17 @@
 //	if err != nil { ... }
 //	gen, _ := res.Generalize(t)
 //	fmt.Println(gen.Stars(), "stars")
+//
+// Beyond the library, the repository ships command-line tools (cmd/anonymize,
+// cmd/datagen, cmd/ldivbench) and ldivd (cmd/ldivd, internal/service), an
+// HTTP job server that anonymizes submitted CSV tables asynchronously. See
+// docs/ARCHITECTURE.md for the package map and data flow.
 package ldiv
 
 import (
+	"fmt"
 	"io"
+	"strings"
 
 	"ldiv/internal/anatomy"
 	"ldiv/internal/attack"
@@ -88,6 +95,11 @@ func ReadCSV(r io.Reader, qiColumns []string, saColumn string) (*Table, error) {
 // WriteCSV writes a table as CSV.
 func WriteCSV(w io.Writer, t *Table) error { return table.WriteCSV(w, t) }
 
+// WriteGeneralizedCSV writes a published (generalized) table as CSV with the
+// same header layout as WriteCSV: suppressed values are rendered as "*" and
+// sub-domains as "{v1,v2,...}", so the release can be re-read with ReadCSV.
+func WriteGeneralizedCSV(w io.Writer, g *Generalized) error { return generalize.WriteCSV(w, g) }
+
 // TP runs the paper's three-phase approximation algorithm and returns the
 // surviving QI-groups plus the residue set of suppressed tuples. The number
 // of suppressed tuples is at most l times the optimum (Theorem 3) and the
@@ -142,6 +154,70 @@ func Incognito(t *Table, l int) (*Generalized, error) {
 		return nil, err
 	}
 	return res.Generalized, nil
+}
+
+// Algorithms lists every algorithm name CanonicalAlgorithm accepts, in
+// display order: the generalization algorithms runnable with AnonymizeWith,
+// plus "anatomy" (the two-table release of Anatomize).
+var Algorithms = []string{"tp", "tp+", "hilbert", "tds", "anatomy", "mondrian", "incognito"}
+
+// CanonicalAlgorithm normalizes an algorithm name to its canonical form
+// (one of Algorithms; "tp+" also accepts the spellings "tpplus" and
+// "tp-plus") and reports whether the name is known. It is the single
+// name-validation point shared by cmd/anonymize and the ldivd job server.
+func CanonicalAlgorithm(name string) (string, bool) {
+	switch lower := strings.ToLower(name); lower {
+	case "tp", "hilbert", "tds", "anatomy", "mondrian", "incognito":
+		return lower, true
+	case "tp+", "tpplus", "tp-plus":
+		return "tp+", true
+	}
+	return "", false
+}
+
+// AnonymizeWith runs the named generalization algorithm (a canonical name
+// from Algorithms, excluding "anatomy") and returns the published table plus
+// the TP termination phase (0 for non-TP algorithms). It is the dispatch
+// shared by cmd/anonymize and the ldivd job server; "anatomy" is rejected
+// here because its two-table release has no Generalized form — call
+// Anatomize instead.
+func AnonymizeWith(t *Table, l int, algo string) (*Generalized, int, error) {
+	switch algo {
+	case "tp":
+		res, err := TP(t, l)
+		if err != nil {
+			return nil, 0, err
+		}
+		g, err := res.Generalize(t)
+		return g, res.TerminationPhase, err
+	case "tp+":
+		res, err := TPPlus(t, l)
+		if err != nil {
+			return nil, 0, err
+		}
+		g, err := res.Generalize(t)
+		return g, res.TerminationPhase, err
+	case "hilbert":
+		p, err := Hilbert(t, l)
+		if err != nil {
+			return nil, 0, err
+		}
+		g, err := Suppress(t, p)
+		return g, 0, err
+	case "tds":
+		g, err := TDS(t, l)
+		return g, 0, err
+	case "mondrian":
+		g, err := Mondrian(t, l)
+		return g, 0, err
+	case "incognito":
+		g, err := Incognito(t, l)
+		return g, 0, err
+	case "anatomy":
+		return nil, 0, fmt.Errorf("ldiv: anatomy publishes two tables and has no generalized form; use Anatomize")
+	default:
+		return nil, 0, fmt.Errorf("ldiv: unknown algorithm %q (want one of %s)", algo, strings.Join(Algorithms, ", "))
+	}
 }
 
 // OptimalTwoDiverse computes the provably optimal 2-diverse suppression of a

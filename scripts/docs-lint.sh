@@ -1,0 +1,30 @@
+#!/bin/sh
+# docs-lint.sh fails if docs/ARCHITECTURE.md or examples/README.md reference a
+# package directory (internal/..., cmd/..., examples/...) that no longer
+# exists, so the documentation cannot silently drift from the tree. CI runs
+# this on every push.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fail=0
+for f in docs/ARCHITECTURE.md examples/README.md; do
+    if [ ! -f "$f" ]; then
+        echo "docs-lint: $f is missing" >&2
+        fail=1
+        continue
+    fi
+    # `|| true`: a doc with no package references is fine (grep exits 1).
+    refs="$(grep -ohE '\b(internal|cmd|examples)/[a-z][a-z0-9_]*' "$f" | sort -u || true)"
+    for ref in $refs; do
+        if [ ! -d "$ref" ]; then
+            echo "docs-lint: $f references $ref, which does not exist" >&2
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -eq 0 ]; then
+    echo "docs-lint: OK"
+fi
+exit "$fail"

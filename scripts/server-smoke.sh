@@ -1,0 +1,110 @@
+#!/bin/sh
+# server-smoke.sh builds ldivd, starts it, runs one job through the full
+# submit -> poll -> result round trip with curl, checks /healthz and /metrics,
+# and shuts the daemon down gracefully. CI runs this on every push so the
+# served path cannot rot. Requires: go, curl.
+set -eu
+
+PORT="${LDIVD_SMOKE_PORT:-8356}"
+BASE="http://127.0.0.1:$PORT"
+TMP="$(mktemp -d)"
+BIN="$TMP/ldivd"
+
+cleanup() {
+    if [ -n "${LDIVD_PID:-}" ] && kill -0 "$LDIVD_PID" 2>/dev/null; then
+        kill -TERM "$LDIVD_PID" 2>/dev/null || true
+        wait "$LDIVD_PID" 2>/dev/null || true
+    fi
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "smoke: building ldivd"
+go build -o "$BIN" ./cmd/ldivd
+
+"$BIN" -addr "127.0.0.1:$PORT" >"$TMP/ldivd.log" 2>&1 &
+LDIVD_PID=$!
+
+echo "smoke: waiting for /healthz"
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "smoke: server never became healthy" >&2
+        cat "$TMP/ldivd.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+cat >"$TMP/smoke.csv" <<'EOF'
+Age,Gender,Disease
+30,M,flu
+30,F,cold
+40,M,flu
+40,F,cold
+50,M,angina
+50,F,flu
+60,M,cold
+60,F,angina
+EOF
+
+echo "smoke: submitting job"
+SUBMIT="$(curl -fsS -X POST --data-binary @"$TMP/smoke.csv" \
+    "$BASE/v1/jobs?algo=tp%2B&l=2&qi=Age,Gender&sa=Disease")"
+JOB_ID="$(printf '%s' "$SUBMIT" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+if [ -z "$JOB_ID" ]; then
+    echo "smoke: no job id in response: $SUBMIT" >&2
+    exit 1
+fi
+
+echo "smoke: polling $JOB_ID"
+i=0
+while :; do
+    STATUS_JSON="$(curl -fsS "$BASE/v1/jobs/$JOB_ID")"
+    case "$STATUS_JSON" in
+    *'"status":"done"'*) break ;;
+    *'"status":"failed"'*)
+        echo "smoke: job failed: $STATUS_JSON" >&2
+        exit 1
+        ;;
+    esac
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "smoke: job never finished: $STATUS_JSON" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+echo "smoke: fetching result"
+RESULT="$(curl -fsS "$BASE/v1/jobs/$JOB_ID/result")"
+case "$RESULT" in
+Age,Gender,Disease*) : ;;
+*)
+    echo "smoke: unexpected result header: $RESULT" >&2
+    exit 1
+    ;;
+esac
+ROWS="$(printf '%s\n' "$RESULT" | wc -l)"
+if [ "$ROWS" -ne 9 ]; then
+    echo "smoke: result has $ROWS lines, want 9" >&2
+    exit 1
+fi
+
+echo "smoke: checking /metrics"
+curl -fsS "$BASE/metrics" | grep -q '^ldivd_jobs_done_total 1$' || {
+    echo "smoke: metrics do not report the finished job" >&2
+    exit 1
+}
+
+echo "smoke: graceful shutdown"
+kill -TERM "$LDIVD_PID"
+wait "$LDIVD_PID" || {
+    echo "smoke: ldivd exited non-zero" >&2
+    cat "$TMP/ldivd.log" >&2
+    exit 1
+}
+unset LDIVD_PID
+
+echo "smoke: OK"
