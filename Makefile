@@ -3,7 +3,12 @@ GO ?= go
 # Benchmarks whose before/after numbers EXPERIMENTS.md tracks.
 CORE_BENCH := BenchmarkAnonymize|BenchmarkPhase3Heavy|BenchmarkTPCore|BenchmarkTPOnSAL4
 
-.PHONY: all build test race bench bench-smoke fmt vet run-server smoke-server docs-lint
+# Benchmarks of the columnar table core: the data-model primitives
+# (append/sample/subset/project), the grouping primitive every TP run starts
+# with, and the end-to-end anonymization that sits on top of them.
+TABLE_BENCH := BenchmarkTableOps|BenchmarkGroupByQI|BenchmarkAnonymize$$
+
+.PHONY: all build test race bench bench-table bench-table-smoke bench-smoke fmt vet run-server smoke-server docs-lint
 
 all: build test
 
@@ -23,6 +28,20 @@ bench:
 	$(GO) test -run '^$$' -bench '$(CORE_BENCH)' -benchmem -count 6 ./... | tee bench.txt
 	@echo
 	@echo "wrote bench.txt — compare revisions with: benchstat old.txt bench.txt"
+
+# bench-table measures the columnar table core (GroupByQI and end-to-end
+# Anonymize, with allocation counts) and writes bench-table.txt; run it on
+# two revisions and compare with benchstat, as EXPERIMENTS.md records.
+bench-table:
+	$(GO) test -run '^$$' -bench '$(TABLE_BENCH)' -benchmem -count 6 . | tee bench-table.txt
+	@echo
+	@echo "wrote bench-table.txt — compare revisions with: benchstat old.txt bench-table.txt"
+
+# bench-table-smoke executes the table-core benchmarks exactly once; CI runs
+# this as a named step so a regression in the benchmark harness itself fails
+# fast and visibly.
+bench-table-smoke:
+	$(GO) test -run '^$$' -bench '$(TABLE_BENCH)' -benchmem -benchtime 1x .
 
 # bench-smoke executes every benchmark exactly once so benchmark code cannot
 # rot unnoticed; CI runs this on every push.

@@ -35,8 +35,11 @@ type options struct {
 var errFlagParse = errors.New("flag parse error")
 
 // parseOptions builds the experiment configuration from the command line.
-// Unknown -fig values are rejected here, before any experiment runs.
-func parseOptions(args []string) (options, error) {
+// Unknown -fig values, negative dataset sizes and negative worker counts are
+// all rejected here, before any experiment runs; main prints the usage text
+// (with every flag default) and exits 2 on such errors, matching the
+// parse-time validation of cmd/anonymize and cmd/datagen.
+func parseOptions(args []string) (options, *flag.FlagSet, error) {
 	fs := flag.NewFlagSet("ldivbench", flag.ContinueOnError)
 	fig := fs.String("fig", "all", "which experiment to run: 2,3,4,5,6,7,8,p3,t6 or all")
 	rows := fs.Int("rows", 0, "base table cardinality (0 = default 60000)")
@@ -47,9 +50,22 @@ func parseOptions(args []string) (options, error) {
 	paper := fs.Bool("paper", false, "use the full paper-scale configuration (slow)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
-			return options{}, err
+			return options{}, fs, err
 		}
-		return options{}, fmt.Errorf("%w: %v", errFlagParse, err)
+		return options{}, fs, fmt.Errorf("%w: %v", errFlagParse, err)
+	}
+
+	if *rows < 0 {
+		return options{}, fs, fmt.Errorf("invalid -rows %d: must be positive (or 0 for the default)", *rows)
+	}
+	if *klRows < 0 {
+		return options{}, fs, fmt.Errorf("invalid -klrows %d: must be positive (or 0 for the default)", *klRows)
+	}
+	if *projections < -1 {
+		return options{}, fs, fmt.Errorf("invalid -projections %d: must be -1 (default), 0 (all) or positive", *projections)
+	}
+	if *workers < 0 {
+		return options{}, fs, fmt.Errorf("invalid -workers %d: must be positive (or 0 for one per CPU)", *workers)
 	}
 
 	cfg := experiment.DefaultConfig()
@@ -70,24 +86,27 @@ func parseOptions(args []string) (options, error) {
 
 	want := strings.ToLower(*fig)
 	if want != "all" && !isKnown(want) {
-		return options{}, fmt.Errorf("unknown figure %q", *fig)
+		return options{}, fs, fmt.Errorf("unknown figure %q", *fig)
 	}
-	return options{fig: want, cfg: cfg}, nil
+	return options{fig: want, cfg: cfg}, fs, nil
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ldivbench: ")
 
-	opts, err := parseOptions(os.Args[1:])
+	opts, fs, err := parseOptions(os.Args[1:])
 	if err != nil {
 		if err == flag.ErrHelp {
 			return
 		}
-		if errors.Is(err, errFlagParse) {
-			os.Exit(2) // the FlagSet already printed the error and usage
+		if !errors.Is(err, errFlagParse) {
+			// Semantic errors (unknown figure, negative sizes or workers)
+			// have not been printed yet; show them with the flag defaults.
+			fmt.Fprintln(os.Stderr, "ldivbench:", err)
+			fs.Usage()
 		}
-		log.Fatal(err)
+		os.Exit(2)
 	}
 	r := experiment.NewRunner(opts.cfg)
 

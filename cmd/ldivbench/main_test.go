@@ -2,6 +2,7 @@ package main
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"ldiv/internal/experiment"
@@ -21,7 +22,7 @@ func TestIsKnown(t *testing.T) {
 }
 
 func TestParseOptionsDefaults(t *testing.T) {
-	opts, err := parseOptions(nil)
+	opts, _, err := parseOptions(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestParseOptionsDefaults(t *testing.T) {
 }
 
 func TestParseOptionsOverrides(t *testing.T) {
-	opts, err := parseOptions([]string{
+	opts, _, err := parseOptions([]string{
 		"-fig", "P3", "-rows", "1234", "-klrows", "99", "-projections", "0",
 		"-seed", "7", "-workers", "4",
 	})
@@ -53,7 +54,7 @@ func TestParseOptionsOverrides(t *testing.T) {
 }
 
 func TestParseOptionsPaperScale(t *testing.T) {
-	opts, err := parseOptions([]string{"-paper", "-workers", "0"})
+	opts, _, err := parseOptions([]string{"-paper", "-workers", "0"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,11 +67,52 @@ func TestParseOptionsPaperScale(t *testing.T) {
 	}
 }
 
-func TestParseOptionsRejectsUnknownFigureBeforeRunning(t *testing.T) {
-	if _, err := parseOptions([]string{"-fig", "bogus"}); err == nil {
-		t.Fatal("unknown figure accepted")
+// TestParseOptionsRejectsInvalid pins the parse-time validation: every bad
+// flag combination must fail before any experiment runs, with an error
+// message naming the offending flag (main prints it with the usage text and
+// exits 2).
+func TestParseOptionsRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"unknown figure", []string{"-fig", "bogus"}, "unknown figure"},
+		{"unknown flag", []string{"-notaflag"}, "flag parse error"},
+		{"negative rows", []string{"-rows", "-1"}, "-rows"},
+		{"negative klrows", []string{"-klrows", "-5"}, "-klrows"},
+		{"projections below -1", []string{"-projections", "-2"}, "-projections"},
+		{"negative workers", []string{"-workers", "-3"}, "-workers"},
+		{"negative rows with paper", []string{"-paper", "-rows", "-600000"}, "-rows"},
 	}
-	if _, err := parseOptions([]string{"-notaflag"}); err == nil {
-		t.Fatal("unknown flag accepted")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, fs, err := parseOptions(tc.args)
+			if err == nil {
+				t.Fatalf("parseOptions(%v) accepted invalid input", tc.args)
+			}
+			if fs == nil {
+				t.Fatal("parseOptions returned a nil FlagSet; main cannot print usage")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestParseOptionsAcceptsBoundaryValues pins the values that must remain
+// valid: 0 means "default" for the size flags and "one per CPU" for workers.
+func TestParseOptionsAcceptsBoundaryValues(t *testing.T) {
+	opts, _, err := parseOptions([]string{"-rows", "0", "-klrows", "0", "-projections", "-1", "-workers", "0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := experiment.DefaultConfig()
+	if opts.cfg.Rows != def.Rows || opts.cfg.KLRows != def.KLRows || opts.cfg.MaxProjections != def.MaxProjections {
+		t.Errorf("zero/default flags changed the config: %+v", opts.cfg)
+	}
+	if opts.cfg.Workers != 0 {
+		t.Errorf("workers = %d, want 0", opts.cfg.Workers)
 	}
 }

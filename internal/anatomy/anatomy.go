@@ -55,16 +55,29 @@ func Anonymize(t *table.Table, l int) (*Result, error) {
 	if !eligibility.IsEligibleTable(t, l) {
 		return nil, fmt.Errorf("anatomy: table is not %d-eligible", l)
 	}
-	// Stacks of row indices per sensitive value.
-	buckets := make(map[int][]int)
-	for i := 0; i < t.Len(); i++ {
-		buckets[t.SAValue(i)] = append(buckets[t.SAValue(i)], i)
+	// Stacks of row indices per sensitive value, bucketized over the dense SA
+	// view: one counting pass sizes every stack, one fill pass places the
+	// rows, and the backing storage is a single arena.
+	sa := t.SAView()
+	domain := t.SADomainSize()
+	counts := make([]int, domain)
+	for _, v := range sa {
+		counts[v]++
 	}
-	values := make([]int, 0, len(buckets))
-	for v := range buckets {
-		values = append(values, v)
+	arena := make([]int, 0, len(sa))
+	stacks := make([][]int, domain)
+	values := make([]int, 0, 16)
+	for v := 0; v < domain; v++ {
+		if c := counts[v]; c > 0 {
+			base := len(arena)
+			arena = arena[:base+c]
+			stacks[v] = arena[base : base : base+c]
+			values = append(values, v)
+		}
 	}
-	sort.Ints(values)
+	for i, v := range sa {
+		stacks[v] = append(stacks[v], i)
+	}
 
 	res := &Result{GroupOf: make([]int, t.Len())}
 	for i := range res.GroupOf {
@@ -74,7 +87,7 @@ func Anonymize(t *table.Table, l int) (*Result, error) {
 	nonEmpty := func() []int {
 		out := make([]int, 0, len(values))
 		for _, v := range values {
-			if len(buckets[v]) > 0 {
+			if len(stacks[v]) > 0 {
 				out = append(out, v)
 			}
 		}
@@ -88,17 +101,17 @@ func Anonymize(t *table.Table, l int) (*Result, error) {
 		}
 		// Pick the l values with the most remaining tuples (ties by code).
 		sort.SliceStable(alive, func(a, b int) bool {
-			if len(buckets[alive[a]]) != len(buckets[alive[b]]) {
-				return len(buckets[alive[a]]) > len(buckets[alive[b]])
+			if len(stacks[alive[a]]) != len(stacks[alive[b]]) {
+				return len(stacks[alive[a]]) > len(stacks[alive[b]])
 			}
 			return alive[a] < alive[b]
 		})
 		group := make([]int, 0, l)
 		gid := len(res.Groups)
 		for _, v := range alive[:l] {
-			stack := buckets[v]
+			stack := stacks[v]
 			row := stack[len(stack)-1]
-			buckets[v] = stack[:len(stack)-1]
+			stacks[v] = stack[:len(stack)-1]
 			group = append(group, row)
 			res.GroupOf[row] = gid
 		}
@@ -115,11 +128,11 @@ func Anonymize(t *table.Table, l int) (*Result, error) {
 	for gi, g := range res.Groups {
 		groupHas[gi] = make(map[int]bool, len(g))
 		for _, r := range g {
-			groupHas[gi][t.SAValue(r)] = true
+			groupHas[gi][sa[r]] = true
 		}
 	}
 	for _, v := range values {
-		for _, row := range buckets[v] {
+		for _, row := range stacks[v] {
 			assigned := false
 			for gi := range res.Groups {
 				if !groupHas[gi][v] {
@@ -155,21 +168,19 @@ func (r *Result) QIT(t *table.Table) []QITRow {
 }
 
 // ST renders the published sensitive table: per group, the multiset of
-// sensitive labels with counts.
+// sensitive labels with counts, histogrammed with one reused dense counter.
 func (r *Result) ST(t *table.Table) []STRow {
 	var out []STRow
+	counter := t.SAGroupCounter()
 	for gid, g := range r.Groups {
-		hist := make(map[int]int)
-		for _, row := range g {
-			hist[t.SAValue(row)]++
-		}
-		codes := make([]int, 0, len(hist))
-		for v := range hist {
-			codes = append(codes, v)
+		counts, vals := counter.Count(g)
+		codes := make([]int, 0, len(vals))
+		for _, v := range vals {
+			codes = append(codes, int(v))
 		}
 		sort.Ints(codes)
 		for _, v := range codes {
-			out = append(out, STRow{GroupID: gid, SALabel: t.Schema().SA().Label(v), Count: hist[v]})
+			out = append(out, STRow{GroupID: gid, SALabel: t.Schema().SA().Label(v), Count: int(counts[v])})
 		}
 	}
 	return out

@@ -111,15 +111,22 @@ func Audit(g *generalize.Generalized) (*Report, error) {
 		p.rows = append(p.rows, i)
 	}
 
+	// The representative's QI codes are gathered once per profile, so the
+	// bucket-coverage scan reads a flat buffer instead of calling back into
+	// the table per cell test.
+	qiBuf := make([]int, d)
 	total := 0.0
 	for _, p := range profiles {
 		rep0 := p.rows[0]
+		for j := 0; j < d; j++ {
+			qiBuf[j] = t.QIAt(rep0, j)
+		}
 		matchSize := 0
 		matchHist := make(map[int]int)
 		for _, b := range buckets {
 			covered := true
 			for j := 0; j < d; j++ {
-				if !b.cells[j].Covers(t.QIValue(rep0, j)) {
+				if !b.cells[j].Covers(qiBuf[j]) {
 					covered = false
 					break
 				}

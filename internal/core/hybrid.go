@@ -93,6 +93,7 @@ func validateResiduePartition(t *table.Table, rows []int, groups [][]int, l int)
 	seen := make([]bool, t.Len())
 	covered := 0
 	counts := make([]int, t.SADomainSize())
+	sa := t.SAView()
 	for gi, g := range groups {
 		if len(g) == 0 {
 			continue
@@ -106,11 +107,11 @@ func validateResiduePartition(t *table.Table, rows []int, groups [][]int, l int)
 			}
 			seen[r] = true
 			covered++
-			counts[t.SAValue(r)]++
+			counts[sa[r]]++
 		}
 		eligible := eligibility.IsEligibleCounts(counts, l)
 		for _, r := range g {
-			counts[t.SAValue(r)] = 0
+			counts[sa[r]] = 0
 		}
 		if !eligible {
 			return fmt.Errorf("group %d is not %d-eligible", gi, l)

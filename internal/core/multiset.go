@@ -206,8 +206,9 @@ func (m *saMultiset) allRows() []int {
 // storage carved out of three shared arenas: one allocation for every group's
 // dense count array, one for every row stack, and one for the multiset
 // structs themselves. Row stacks keep table order within a value, exactly as
-// a sequence of add calls would. sa maps a row index to its SA code.
-func buildGroupMultisets(groups [][]int, domain int, sa func(int) int) []*saMultiset {
+// a sequence of add calls would. sa maps a row index to its SA code (the
+// table's dense SAView, so the per-row lookup is one array load).
+func buildGroupMultisets(groups [][]int, domain int, sa []int) []*saMultiset {
 	total := 0
 	for _, g := range groups {
 		total += len(g)
@@ -220,7 +221,7 @@ func buildGroupMultisets(groups [][]int, domain int, sa func(int) int) []*saMult
 		m := &structs[gi]
 		m.cnt = cntArena[gi*domain : (gi+1)*domain : (gi+1)*domain]
 		for _, r := range g {
-			m.cnt[sa(r)]++
+			m.cnt[sa[r]]++
 		}
 		distinct, maxC := 0, 0
 		for v := 0; v < domain; v++ {
@@ -248,7 +249,7 @@ func buildGroupMultisets(groups [][]int, domain int, sa func(int) int) []*saMult
 			m.heightCnt[c]++
 		}
 		for _, r := range g {
-			i, _ := m.valIndex(int32(sa(r)))
+			i, _ := m.valIndex(int32(sa[r]))
 			m.rows[i] = append(m.rows[i], int32(r))
 		}
 		m.size = len(g)

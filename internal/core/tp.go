@@ -110,7 +110,7 @@ type state struct {
 func newState(t *table.Table, groups [][]int, l int) *state {
 	domain := t.SADomainSize()
 	st := &state{t: t, l: l, domain: domain, residue: newSAMultiset(domain), phase: 1}
-	st.groups = buildGroupMultisets(groups, domain, t.SAValue)
+	st.groups = buildGroupMultisets(groups, domain, t.SAView())
 	return st
 }
 

@@ -74,7 +74,9 @@ func generate(cfg Config, saName string, saCard int) (*table.Table, error) {
 		qi[i] = table.NewIntegerAttribute(name, QICardinalities[i])
 	}
 	sa := table.NewIntegerAttribute(saName, saCard)
-	t := table.New(table.MustSchema(qi, sa))
+	// The row count is known up front, so the table's column arena is
+	// allocated exactly once and the append loop below never reallocates.
+	t := table.NewWithCapacity(table.MustSchema(qi, sa), cfg.Rows)
 
 	// Skewed samplers per attribute. Zipf exponents are mild so that every
 	// value still occurs, matching the heavy-but-not-degenerate skew of
@@ -219,8 +221,9 @@ func Projections(d int) ([][]string, error) {
 	return out, nil
 }
 
-// ProjectionTables materializes the SAL-d (or OCC-d) family from a base
-// table: one projected table per size-d attribute subset. If maxTables > 0,
+// ProjectionTables builds the SAL-d (or OCC-d) family from a base table:
+// one projected table per size-d attribute subset, each a zero-copy view
+// sharing the base table's column storage. If maxTables > 0,
 // only the first maxTables projections are returned (the order is
 // deterministic), which the experiment harness uses to bound running time.
 func ProjectionTables(base *table.Table, d, maxTables int) ([]*table.Table, error) {

@@ -66,27 +66,48 @@ func IsEligibleCounts(counts []int, l int) bool {
 }
 
 // IsEligibleRows reports whether the multiset formed by the given rows of t
-// is l-eligible.
+// is l-eligible. It histograms the rows against a dense count array; loops
+// that check many groups of one table should hoist a table.SAGroupCounter
+// and use IsEligibleGroup to reuse the array across groups.
 func IsEligibleRows(t *table.Table, rows []int, l int) bool {
-	return IsEligibleHistogram(t.SAHistogramOf(rows), l)
+	if l <= 1 {
+		return true
+	}
+	return IsEligibleGroup(t.SAGroupCounter(), rows, l)
+}
+
+// IsEligibleGroup reports whether the multiset formed by the given rows is
+// l-eligible, histogramming them with the caller's reusable counter:
+// |S| >= l * h(S), where |S| is the number of rows and h(S) the largest
+// sensitive-value frequency among them.
+func IsEligibleGroup(c *table.SAGroupCounter, rows []int, l int) bool {
+	if l <= 1 {
+		return true
+	}
+	return len(rows) >= l*c.MaxCount(rows)
 }
 
 // IsEligibleTable reports whether the whole table is l-eligible. By Lemma 1
 // (monotonicity) this is a necessary and sufficient condition for an
 // l-diverse generalization of the table to exist.
 func IsEligibleTable(t *table.Table, l int) bool {
-	return IsEligibleHistogram(t.SAHistogram(), l)
+	return IsEligibleCounts(t.SACounts(), l)
 }
 
 // IsLDiversePartition reports whether every group of the partition (given as
 // row-index groups covering the table) is l-eligible, i.e. whether the
-// generalization the partition defines is l-diverse.
+// generalization the partition defines is l-diverse. One dense counter is
+// reused across all groups.
 func IsLDiversePartition(t *table.Table, groups [][]int, l int) bool {
+	if l <= 1 {
+		return true
+	}
+	c := t.SAGroupCounter()
 	for _, g := range groups {
 		if len(g) == 0 {
 			continue
 		}
-		if !IsEligibleRows(t, g, l) {
+		if !IsEligibleGroup(c, g, l) {
 			return false
 		}
 	}
@@ -111,7 +132,7 @@ func IsKAnonymousPartition(groups [][]int, k int) bool {
 // (n / h(T) using integer division), or 0 for an empty table. Anonymization
 // with any l up to this value is feasible.
 func MaxEligibleL(t *table.Table) int {
-	h := MaxFrequency(t.SAHistogram())
+	h := MaxFrequencyCounts(t.SACounts())
 	if h == 0 {
 		return 0
 	}

@@ -11,6 +11,9 @@ import (
 // against stronger (or differently shaped) requirements than frequency-based
 // l-diversity: entropy l-diversity and recursive (c,l)-diversity from
 // Machanavajjhala et al. [31], and (alpha,k)-anonymity from Wong et al. [46].
+// Each audit walks the partition with one reused dense sensitive-value
+// counter (table.SAGroupCounter) instead of allocating a histogram map per
+// group.
 
 // EntropyLDiversity reports whether every group of the partition has entropy
 // at least log(l): -sum p_v log p_v >= log l, where p_v is the fraction of the
@@ -21,14 +24,15 @@ func EntropyLDiversity(t *table.Table, groups [][]int, l int) bool {
 		return true
 	}
 	threshold := math.Log(float64(l))
+	counter := t.SAGroupCounter()
 	for _, g := range groups {
 		if len(g) == 0 {
 			continue
 		}
-		hist := t.SAHistogramOf(g)
+		counts, vals := counter.Count(g)
 		entropy := 0.0
-		for _, c := range hist {
-			p := float64(c) / float64(len(g))
+		for _, v := range vals {
+			p := float64(counts[v]) / float64(len(g))
 			entropy -= p * math.Log(p)
 		}
 		if entropy+1e-12 < threshold {
@@ -47,29 +51,31 @@ func RecursiveCLDiversity(t *table.Table, groups [][]int, c float64, l int) bool
 	if l <= 1 {
 		return true
 	}
+	counter := t.SAGroupCounter()
+	var sorted []int
 	for _, g := range groups {
 		if len(g) == 0 {
 			continue
 		}
-		hist := t.SAHistogramOf(g)
-		if len(hist) < l {
+		counts, vals := counter.Count(g)
+		if len(vals) < l {
 			return false
 		}
-		counts := make([]int, 0, len(hist))
-		for _, cnt := range hist {
-			counts = append(counts, cnt)
+		sorted = sorted[:0]
+		for _, v := range vals {
+			sorted = append(sorted, int(counts[v]))
 		}
 		// Sort descending (insertion sort; histograms are tiny).
-		for i := 1; i < len(counts); i++ {
-			for j := i; j > 0 && counts[j] > counts[j-1]; j-- {
-				counts[j], counts[j-1] = counts[j-1], counts[j]
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && sorted[j] > sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
 			}
 		}
 		tail := 0
-		for i := l - 1; i < len(counts); i++ {
-			tail += counts[i]
+		for i := l - 1; i < len(sorted); i++ {
+			tail += sorted[i]
 		}
-		if float64(counts[0]) >= c*float64(tail) {
+		if float64(sorted[0]) >= c*float64(tail) {
 			return false
 		}
 	}
@@ -80,6 +86,7 @@ func RecursiveCLDiversity(t *table.Table, groups [][]int, c float64, l int) bool
 // (Wong et al. [46]): every non-empty group has at least k tuples and no
 // sensitive value accounts for more than an alpha fraction of any group.
 func AlphaKAnonymity(t *table.Table, groups [][]int, alpha float64, k int) bool {
+	counter := t.SAGroupCounter()
 	for _, g := range groups {
 		if len(g) == 0 {
 			continue
@@ -87,12 +94,9 @@ func AlphaKAnonymity(t *table.Table, groups [][]int, alpha float64, k int) bool 
 		if len(g) < k {
 			return false
 		}
-		hist := t.SAHistogramOf(g)
 		limit := alpha * float64(len(g))
-		for _, c := range hist {
-			if float64(c) > limit+1e-12 {
-				return false
-			}
+		if float64(counter.MaxCount(g)) > limit+1e-12 {
+			return false
 		}
 	}
 	return true
@@ -102,11 +106,12 @@ func AlphaKAnonymity(t *table.Table, groups [][]int, alpha float64, k int) bool 
 // sensitive values — the weakest of the l-diversity interpretations, implied
 // by the frequency-based definition the paper uses.
 func DistinctLDiversity(t *table.Table, groups [][]int, l int) bool {
+	counter := t.SAGroupCounter()
 	for _, g := range groups {
 		if len(g) == 0 {
 			continue
 		}
-		if len(t.SAHistogramOf(g)) < l {
+		if _, vals := counter.Count(g); len(vals) < l {
 			return false
 		}
 	}

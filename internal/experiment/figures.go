@@ -52,7 +52,9 @@ func (r *Runner) Figure6() ([]Figure, error) {
 		}
 		// Samples are drawn serially up front: Table.Sample consumes the
 		// per-size rng sequentially over the projections, and every
-		// algorithm measures the exact same samples.
+		// algorithm measures the exact same samples. Each sample is a
+		// zero-copy view (a row-index slice over the projection's columns),
+		// so this loop allocates index arrays, never microdata.
 		samples := make([][]*table.Table, len(r.Cfg.SampleSizes))
 		for si, size := range r.Cfg.SampleSizes {
 			rng := rand.New(rand.NewSource(r.Cfg.Seed + int64(size)))

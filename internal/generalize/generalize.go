@@ -150,19 +150,20 @@ func Suppress(t *table.Table, p *Partition) (*Generalized, error) {
 	for i := range cells {
 		cells[i] = make([]Cell, d)
 	}
-	for _, g := range p.Groups {
-		for j := 0; j < d; j++ {
+	for j := 0; j < d; j++ {
+		col := t.Col(j)
+		for _, g := range p.Groups {
 			same := true
-			first := t.QIValue(g[0], j)
+			first := col[g[0]]
 			for _, r := range g[1:] {
-				if t.QIValue(r, j) != first {
+				if col[r] != first {
 					same = false
 					break
 				}
 			}
 			for _, r := range g {
 				if same {
-					cells[r][j] = Cell{Kind: CellExact, Value: first}
+					cells[r][j] = Cell{Kind: CellExact, Value: int(first)}
 				} else {
 					cells[r][j] = Cell{Kind: CellStar}
 				}
@@ -187,22 +188,31 @@ func MultiDimensional(t *table.Table, p *Partition) (*Generalized, error) {
 	for i := range cells {
 		cells[i] = make([]Cell, d)
 	}
-	for _, g := range p.Groups {
-		for j := 0; j < d; j++ {
-			set := make(map[int]bool)
-			for _, r := range g {
-				set[t.QIValue(r, j)] = true
+	for j := 0; j < d; j++ {
+		col := t.Col(j)
+		// Dense membership scratch over the attribute's domain, re-zeroed per
+		// group by undoing only the codes the group touched.
+		seen := make([]bool, t.Schema().QI(j).Cardinality())
+		var vals []int
+		for _, g := range p.Groups {
+			for _, v := range vals {
+				seen[v] = false
 			}
-			var cell Cell
-			if len(set) == 1 {
-				cell = Cell{Kind: CellExact, Value: t.QIValue(g[0], j)}
-			} else {
-				vals := make([]int, 0, len(set))
-				for v := range set {
+			vals = vals[:0]
+			for _, r := range g {
+				if v := int(col[r]); !seen[v] {
+					seen[v] = true
 					vals = append(vals, v)
 				}
-				sort.Ints(vals)
-				cell = Cell{Kind: CellSet, Set: vals}
+			}
+			var cell Cell
+			if len(vals) == 1 {
+				cell = Cell{Kind: CellExact, Value: vals[0]}
+			} else {
+				set := make([]int, len(vals))
+				copy(set, vals)
+				sort.Ints(set)
+				cell = Cell{Kind: CellSet, Set: set}
 			}
 			for _, r := range g {
 				cells[r][j] = cell
@@ -300,11 +310,12 @@ func (g *Generalized) SuppressedTuples() int {
 func StarsForPartition(t *table.Table, p *Partition) int {
 	stars := 0
 	d := t.Dimensions()
-	for _, g := range p.Groups {
-		for j := 0; j < d; j++ {
-			first := t.QIValue(g[0], j)
+	for j := 0; j < d; j++ {
+		col := t.Col(j)
+		for _, g := range p.Groups {
+			first := col[g[0]]
 			for _, r := range g[1:] {
-				if t.QIValue(r, j) != first {
+				if col[r] != first {
 					stars += len(g)
 					break
 				}

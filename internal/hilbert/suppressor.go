@@ -57,7 +57,8 @@ func (s *Suppressor) PartitionRows(t *table.Table, rows []int, l int) ([][]int, 
 		}
 		return out, nil
 	}
-	if !eligibility.IsEligibleRows(t, rows, l) {
+	counter := t.SAGroupCounter()
+	if !eligibility.IsEligibleGroup(counter, rows, l) {
 		return nil, fmt.Errorf("hilbert: row set is not %d-eligible", l)
 	}
 
@@ -71,14 +72,14 @@ func (s *Suppressor) PartitionRows(t *table.Table, rows []int, l int) ([][]int, 
 	// tail is eligible (the union of everything is eligible, so this ends).
 	for len(groups) > 1 {
 		last := groups[len(groups)-1]
-		if eligibility.IsEligibleRows(t, last, l) {
+		if eligibility.IsEligibleGroup(counter, last, l) {
 			break
 		}
 		merged := append(groups[len(groups)-2], last...)
 		groups = groups[:len(groups)-2]
 		groups = append(groups, merged)
 	}
-	if len(groups) > 0 && !eligibility.IsEligibleRows(t, groups[len(groups)-1], l) {
+	if len(groups) > 0 && !eligibility.IsEligibleGroup(counter, groups[len(groups)-1], l) {
 		return nil, fmt.Errorf("hilbert: internal error: could not form %d-eligible groups", l)
 	}
 	return groups, nil
@@ -101,13 +102,19 @@ func (s *Suppressor) sortByCurve(t *table.Table, rows []int) ([]int, error) {
 		bits--
 		shift++
 	}
-	keys := make([]uint64, len(rows))
-	coords := make([]uint32, d)
-	for i, r := range rows {
-		for j := 0; j < d; j++ {
-			coords[j] = uint32(t.QIValue(r, j) >> uint(shift))
+	// Coordinates are gathered column by column — one linear pass per QI
+	// attribute over its contiguous column — into a row-major matrix, then
+	// encoded per row.
+	coords := make([]uint32, d*len(rows))
+	for j := 0; j < d; j++ {
+		col := t.Col(j)
+		for i, r := range rows {
+			coords[i*d+j] = uint32(int(col[r]) >> uint(shift))
 		}
-		k, err := Encode(coords, bits)
+	}
+	keys := make([]uint64, len(rows))
+	for i := range rows {
+		k, err := Encode(coords[i*d:(i+1)*d], bits)
 		if err != nil {
 			return nil, err
 		}
@@ -142,6 +149,17 @@ func (s *Suppressor) carveGroups(t *table.Table, sorted []int, l int) [][]int {
 	used := make([]bool, len(sorted))
 	var groups [][]int
 
+	// The SA code of each sorted position, gathered once so the carving loop
+	// reads a flat array, and one dense histogram reused across groups (only
+	// the values a group touched are re-zeroed between groups).
+	sa := t.SAView()
+	saSorted := make([]int32, len(sorted))
+	for i, r := range sorted {
+		saSorted[i] = int32(sa[r])
+	}
+	hist := make([]int32, t.SADomainSize())
+	var touched []int32
+
 	cursor := 0
 	advance := func() {
 		for cursor < len(sorted) && used[cursor] {
@@ -152,16 +170,22 @@ func (s *Suppressor) carveGroups(t *table.Table, sorted []int, l int) [][]int {
 
 	for cursor < len(sorted) {
 		var group []int
-		hist := make(map[int]int)
+		for _, v := range touched {
+			hist[v] = 0
+		}
+		touched = touched[:0]
 		size, height := 0, 0
 
 		addAt := func(pos int) {
-			r := sorted[pos]
 			used[pos] = true
-			group = append(group, r)
-			hist[t.SAValue(r)]++
-			if hist[t.SAValue(r)] > height {
-				height = hist[t.SAValue(r)]
+			group = append(group, sorted[pos])
+			v := saSorted[pos]
+			if hist[v] == 0 {
+				touched = append(touched, v)
+			}
+			hist[v]++
+			if int(hist[v]) > height {
+				height = int(hist[v])
 			}
 			size++
 		}
@@ -174,15 +198,14 @@ func (s *Suppressor) carveGroups(t *table.Table, sorted []int, l int) [][]int {
 			// Prefer the next row unless it would deepen the pillar while a
 			// nearby row would not.
 			pick := cursor
-			v := t.SAValue(sorted[cursor])
-			if size > 0 && hist[v]+1 > height {
+			if size > 0 && int(hist[saSorted[cursor]])+1 > height {
 				for off, scanned := 1, 0; cursor+off < len(sorted) && scanned < window; off++ {
 					pos := cursor + off
 					if used[pos] {
 						continue
 					}
 					scanned++
-					if hist[t.SAValue(sorted[pos])]+1 <= height {
+					if int(hist[saSorted[pos]])+1 <= height {
 						pick = pos
 						break
 					}

@@ -166,45 +166,62 @@ func (a *Anonymizer) Anonymize(t *table.Table) (*Result, error) {
 }
 
 // isDiverse checks whether the grouping induced by the level vector is
-// l-diverse.
+// l-diverse. The recoding of each attribute is resolved once into a dense
+// code -> node-id table for the vector's level, so the row scan reads the
+// gathered columns and two flat arrays per attribute — no per-row map or
+// accessor calls. Group histograms use one dense counter keyed by group id.
 func (a *Anonymizer) isDiverse(t *table.Table, ancestors [][][]*taxonomy.Node, ids map[*taxonomy.Node]int, levels []int) bool {
-	groups := make(map[string]map[int]int)
-	key := make([]byte, 0, 8*len(levels))
-	for i := 0; i < t.Len(); i++ {
-		key = key[:0]
-		for j, lev := range levels {
-			n := ancestors[j][t.QIValue(i, j)][lev]
-			id := ids[n]
+	d := len(levels)
+	idAt := make([][]int32, d)
+	cols := make([][]int32, d)
+	for j, lev := range levels {
+		cols[j] = t.Col(j)
+		idAt[j] = make([]int32, len(ancestors[j]))
+		for code, chain := range ancestors[j] {
+			idAt[j][code] = int32(ids[chain[lev]])
+		}
+	}
+	// Rows are grouped by recoded signature, then each group's histogram is
+	// checked with the shared dense counter.
+	groups := table.GroupBySignature(t.Len(), func(i int, key []byte) []byte {
+		for j := 0; j < d; j++ {
+			id := idAt[j][cols[j][i]]
 			key = append(key, byte(id), byte(id>>8), byte(id>>16), byte(id>>24), ',')
 		}
-		k := string(key)
-		hist := groups[k]
-		if hist == nil {
-			hist = make(map[int]int)
-			groups[k] = hist
-		}
-		hist[t.SAValue(i)]++
-	}
-	for _, hist := range groups {
-		if !eligibility.IsEligibleHistogram(hist, a.L) {
+		return key
+	})
+	counter := t.SAGroupCounter()
+	for _, g := range groups {
+		if !eligibility.IsEligibleGroup(counter, g, a.L) {
 			return false
 		}
 	}
 	return true
 }
 
-// render publishes the table at the chosen levels.
+// render publishes the table at the chosen levels. Cells are resolved once
+// per (attribute, code) and shared across the rows publishing that code.
 func (a *Anonymizer) render(t *table.Table, ancestors [][][]*taxonomy.Node, levels []int) (*generalize.Generalized, error) {
+	d := t.Dimensions()
+	cellAt := make([][]generalize.Cell, d)
+	cols := make([][]int32, d)
+	for j, lev := range levels {
+		cols[j] = t.Col(j)
+		cellAt[j] = make([]generalize.Cell, len(ancestors[j]))
+		for code, chain := range ancestors[j] {
+			n := chain[lev]
+			if n.IsLeaf() {
+				cellAt[j][code] = generalize.Cell{Kind: generalize.CellExact, Value: n.Codes[0]}
+			} else {
+				cellAt[j][code] = generalize.Cell{Kind: generalize.CellSet, Set: append([]int(nil), n.Codes...)}
+			}
+		}
+	}
 	cells := make([][]generalize.Cell, t.Len())
 	for i := 0; i < t.Len(); i++ {
-		row := make([]generalize.Cell, t.Dimensions())
-		for j, lev := range levels {
-			n := ancestors[j][t.QIValue(i, j)][lev]
-			if n.IsLeaf() {
-				row[j] = generalize.Cell{Kind: generalize.CellExact, Value: n.Codes[0]}
-			} else {
-				row[j] = generalize.Cell{Kind: generalize.CellSet, Set: append([]int(nil), n.Codes...)}
-			}
+		row := make([]generalize.Cell, d)
+		for j := 0; j < d; j++ {
+			row[j] = cellAt[j][cols[j][i]]
 		}
 		cells[i] = row
 	}

@@ -36,8 +36,8 @@ func OptimalTwoDiverse(t *table.Table) (*generalize.Partition, int, error) {
 	if vb == -1 {
 		vb = va
 	}
-	for i := 0; i < t.Len(); i++ {
-		if t.SAValue(i) == va {
+	for i, v := range t.SAView() {
+		if v == va {
 			s1 = append(s1, i)
 		} else {
 			s2 = append(s2, i)
@@ -50,14 +50,29 @@ func OptimalTwoDiverse(t *table.Table) (*generalize.Partition, int, error) {
 	if n == 0 {
 		return generalize.NewPartition(nil), 0, nil
 	}
+	// The two classes' QI codes are gathered per attribute into contiguous
+	// buffers, so the O(n^2 d) cost loop compares flat arrays.
 	d := t.Dimensions()
+	c1 := make([][]int32, d)
+	c2 := make([][]int32, d)
+	for a := 0; a < d; a++ {
+		col := t.Col(a)
+		c1[a] = make([]int32, n)
+		c2[a] = make([]int32, n)
+		for i, r := range s1 {
+			c1[a][i] = col[r]
+		}
+		for j, r := range s2 {
+			c2[a][j] = col[r]
+		}
+	}
 	cost := make([][]float64, n)
 	for i := range cost {
 		cost[i] = make([]float64, n)
 		for j := range cost[i] {
 			diff := 0
 			for a := 0; a < d; a++ {
-				if t.QIValue(s1[i], a) != t.QIValue(s2[j], a) {
+				if c1[a][i] != c2[a][j] {
 					diff++
 				}
 			}

@@ -73,12 +73,20 @@ func KLDivergence(g *generalize.Generalized) (float64, error) {
 	}
 
 	// Split the partition's groups into "exact" groups (no star, no set:
-	// they only cover their own QI point) and "general" groups.
+	// they only cover their own QI point) and "general" groups. Group SA
+	// histograms come from one reused dense counter; general groups keep
+	// theirs as small (value, count) pair lists — group histograms hold at
+	// most a handful of values, so the lookup below is a short linear scan.
+	type saPair struct {
+		v int32
+		c int32
+	}
 	type generalGroup struct {
 		cells []generalize.Cell
-		saCnt map[int]int
+		saCnt []saPair
 		mass  float64 // product of 1/width over QI attributes
 	}
+	counter := t.SAGroupCounter()
 	exactBySig := make(map[string]map[int]int) // QI key -> SA histogram (summed over exact groups)
 	var generals []generalGroup
 	for _, rows := range g.Partition.Groups {
@@ -93,7 +101,7 @@ func KLDivergence(g *generalize.Generalized) (float64, error) {
 				break
 			}
 		}
-		saCnt := t.SAHistogramOf(rows)
+		saCounts, saVals := counter.Count(rows)
 		if allExact {
 			sig := ""
 			for j, c := range cells {
@@ -107,8 +115,8 @@ func KLDivergence(g *generalize.Generalized) (float64, error) {
 				hist = make(map[int]int)
 				exactBySig[sig] = hist
 			}
-			for v, c := range saCnt {
-				hist[v] += c
+			for _, v := range saVals {
+				hist[int(v)] += int(saCounts[v])
 			}
 			continue
 		}
@@ -116,7 +124,11 @@ func KLDivergence(g *generalize.Generalized) (float64, error) {
 		for j, c := range cells {
 			mass /= float64(c.Width(sch.QI(j).Cardinality()))
 		}
-		generals = append(generals, generalGroup{cells: cells, saCnt: saCnt, mass: mass})
+		pairs := make([]saPair, 0, len(saVals))
+		for _, v := range saVals {
+			pairs = append(pairs, saPair{v: v, c: saCounts[v]})
+		}
+		generals = append(generals, generalGroup{cells: cells, saCnt: pairs, mass: mass})
 	}
 
 	kl := 0.0
@@ -131,7 +143,13 @@ func KLDivergence(g *generalize.Generalized) (float64, error) {
 			fstar += float64(hist[sa]) / float64(n)
 		}
 		for _, gg := range generals {
-			cnt := gg.saCnt[sa]
+			cnt := 0
+			for _, p := range gg.saCnt {
+				if int(p.v) == sa {
+					cnt = int(p.c)
+					break
+				}
+			}
 			if cnt == 0 {
 				continue
 			}

@@ -37,9 +37,30 @@ func (a *Anonymizer) Anonymize(t *table.Table) (*generalize.Partition, error) {
 	for i := range all {
 		all[i] = i
 	}
+	// The recursion shares one state: the gathered QI columns, a dense
+	// distinct-value scratch per attribute, and the eligibility counter.
+	st := &splitState{
+		t:       t,
+		cols:    make([][]int32, t.Dimensions()),
+		seen:    make([][]bool, t.Dimensions()),
+		counter: t.SAGroupCounter(),
+	}
+	for j := range st.cols {
+		st.cols[j] = t.Col(j)
+		st.seen[j] = make([]bool, t.Schema().QI(j).Cardinality())
+	}
 	var groups [][]int
-	a.split(t, all, &groups)
+	a.split(st, all, &groups)
 	return generalize.NewPartition(groups), nil
+}
+
+// splitState is the shared read-only table view plus reusable scratch of one
+// Anonymize run.
+type splitState struct {
+	t       *table.Table
+	cols    [][]int32 // cols[j] = QI column j in row order
+	seen    [][]bool  // seen[j] = distinct-value scratch over attribute j's domain
+	counter *table.SAGroupCounter
 }
 
 // Generalize runs Anonymize and renders the multi-dimensional generalization.
@@ -53,7 +74,7 @@ func (a *Anonymizer) Generalize(t *table.Table) (*generalize.Generalized, error)
 
 // split recursively cuts rows; when no allowable cut exists the rows become a
 // final group.
-func (a *Anonymizer) split(t *table.Table, rows []int, out *[][]int) {
+func (a *Anonymizer) split(st *splitState, rows []int, out *[][]int) {
 	// Choose attributes by normalized width (number of distinct values in the
 	// group relative to the domain), widest first.
 	type attrSpan struct {
@@ -61,15 +82,22 @@ func (a *Anonymizer) split(t *table.Table, rows []int, out *[][]int) {
 		distinct int
 		norm     float64
 	}
-	d := t.Dimensions()
+	d := st.t.Dimensions()
 	spans := make([]attrSpan, 0, d)
 	for j := 0; j < d; j++ {
-		set := make(map[int]bool)
+		col, seen := st.cols[j], st.seen[j]
+		distinct := 0
 		for _, r := range rows {
-			set[t.QIValue(r, j)] = true
+			if v := col[r]; !seen[v] {
+				seen[v] = true
+				distinct++
+			}
 		}
-		card := t.Schema().QI(j).Cardinality()
-		spans = append(spans, attrSpan{j: j, distinct: len(set), norm: float64(len(set)) / float64(card)})
+		for _, r := range rows {
+			seen[col[r]] = false
+		}
+		card := st.t.Schema().QI(j).Cardinality()
+		spans = append(spans, attrSpan{j: j, distinct: distinct, norm: float64(distinct) / float64(card)})
 	}
 	sort.Slice(spans, func(x, y int) bool {
 		if spans[x].norm != spans[y].norm {
@@ -82,12 +110,12 @@ func (a *Anonymizer) split(t *table.Table, rows []int, out *[][]int) {
 		if sp.distinct < 2 {
 			continue
 		}
-		left, right, ok := a.tryCut(t, rows, sp.j)
+		left, right, ok := a.tryCut(st, rows, sp.j)
 		if !ok {
 			continue
 		}
-		a.split(t, left, out)
-		a.split(t, right, out)
+		a.split(st, left, out)
+		a.split(st, right, out)
 		return
 	}
 	*out = append(*out, rows)
@@ -95,11 +123,12 @@ func (a *Anonymizer) split(t *table.Table, rows []int, out *[][]int) {
 
 // tryCut attempts a median cut of rows on attribute j, returning the two
 // halves if both are l-eligible and non-empty.
-func (a *Anonymizer) tryCut(t *table.Table, rows []int, j int) (left, right []int, ok bool) {
+func (a *Anonymizer) tryCut(st *splitState, rows []int, j int) (left, right []int, ok bool) {
+	col := st.cols[j]
 	sorted := make([]int, len(rows))
 	copy(sorted, rows)
 	sort.Slice(sorted, func(x, y int) bool {
-		vx, vy := t.QIValue(sorted[x], j), t.QIValue(sorted[y], j)
+		vx, vy := col[sorted[x]], col[sorted[y]]
 		if vx != vy {
 			return vx < vy
 		}
@@ -111,7 +140,7 @@ func (a *Anonymizer) tryCut(t *table.Table, rows []int, j int) (left, right []in
 	// Collect boundary positions (first index of each distinct value).
 	var bounds []int
 	for i := 1; i < len(sorted); i++ {
-		if t.QIValue(sorted[i], j) != t.QIValue(sorted[i-1], j) {
+		if col[sorted[i]] != col[sorted[i-1]] {
 			bounds = append(bounds, i)
 		}
 	}
@@ -127,7 +156,7 @@ func (a *Anonymizer) tryCut(t *table.Table, rows []int, j int) (left, right []in
 	})
 	for _, b := range bounds {
 		l, r := sorted[:b], sorted[b:]
-		if eligibility.IsEligibleRows(t, l, a.L) && eligibility.IsEligibleRows(t, r, a.L) {
+		if eligibility.IsEligibleGroup(st.counter, l, a.L) && eligibility.IsEligibleGroup(st.counter, r, a.L) {
 			return append([]int(nil), l...), append([]int(nil), r...), true
 		}
 	}

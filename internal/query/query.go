@@ -40,28 +40,35 @@ func contains(sorted []int, v int) bool {
 	return i < len(sorted) && sorted[i] == v
 }
 
-// CountExact answers the query on the microdata.
+// CountExact answers the query on the microdata. The constrained QI columns
+// are hoisted once, so the row scan tests each predicate against a
+// contiguous column instead of calling back into the table.
 func (q *Query) CountExact(t *table.Table) int {
 	q.normalize()
+	type colPred struct {
+		col   []int32
+		codes []int
+	}
+	preds := make([]colPred, 0, len(q.QIPredicates))
+	for col, codes := range q.QIPredicates {
+		preds = append(preds, colPred{col: t.Col(col), codes: codes})
+	}
+	sa := t.SAView()
 	count := 0
-	for i := 0; i < t.Len(); i++ {
-		if q.matchesRow(t, i) {
-			count++
+	n := t.Len()
+rows:
+	for i := 0; i < n; i++ {
+		for _, p := range preds {
+			if !contains(p.codes, int(p.col[i])) {
+				continue rows
+			}
 		}
+		if len(q.SAPredicate) > 0 && !contains(q.SAPredicate, sa[i]) {
+			continue
+		}
+		count++
 	}
 	return count
-}
-
-func (q *Query) matchesRow(t *table.Table, i int) bool {
-	for col, codes := range q.QIPredicates {
-		if !contains(codes, t.QIValue(i, col)) {
-			return false
-		}
-	}
-	if len(q.SAPredicate) > 0 && !contains(q.SAPredicate, t.SAValue(i)) {
-		return false
-	}
-	return true
 }
 
 // Estimate answers the query on a published table under the uniformity

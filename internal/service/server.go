@@ -220,7 +220,11 @@ func splitList(s string) []string {
 
 // prepare parses the CSV body into a table, applies the projection, and
 // checks l-eligibility, so submissions fail fast with a typed error instead
-// of queueing doomed work.
+// of queueing doomed work. A projection starts as a zero-copy view but is
+// cloned before queueing: the view would pin the ingested table's whole
+// column arena (dropped columns included) for the job's queue+run lifetime,
+// and the dense clone of just the projected columns is what bounds a
+// backlog's resident memory.
 func prepare(body []byte, p Params) (*ldiv.Table, *apiError) {
 	t, err := ldiv.ReadCSV(bytes.NewReader(body), p.QI, p.SA)
 	if err != nil {
@@ -234,6 +238,7 @@ func prepare(body []byte, p Params) (*ldiv.Table, *apiError) {
 		if err != nil {
 			return nil, &apiError{Code: "bad_projection", Message: err.Error()}
 		}
+		t = t.Clone()
 	}
 	if !ldiv.IsEligible(t, p.L) {
 		return nil, &apiError{Code: "not_eligible",

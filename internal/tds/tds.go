@@ -73,23 +73,33 @@ func (a *Anonymizer) Anonymize(t *table.Table) (*generalize.Generalized, error) 
 	return st.generalized()
 }
 
-// tdsState carries the current cut and the grouping it induces.
+// tdsState carries the current cut and the grouping it induces. The per-code
+// state is dense: nodeOf[j] and sigIDs[j] are slices indexed by attribute j's
+// value code, and the QI columns are gathered once up front, so every
+// recoding loop is array loads instead of map lookups and accessor calls.
 type tdsState struct {
 	t  *table.Table
 	hs []*taxonomy.Hierarchy
 	l  int
 
+	cols    [][]int32 // cols[j] = QI column j in row order
+	counter *table.SAGroupCounter
+
 	// nodeOf[j][code] is the active node of attribute j covering the code.
-	nodeOf []map[int]*taxonomy.Node
-	// groups maps a cut signature to the rows it contains.
-	groups map[string][]int
+	nodeOf [][]*taxonomy.Node
+	// sigIDs[j][code] is the stable id of nodeOf[j][code], the per-code view
+	// of the cut the signature loop reads directly.
+	sigIDs [][]int32
+	// groups lists the rows of each cut-signature group, in first-row order;
+	// rows within a group are in table order.
+	groups [][]int
 	// ids assigns a stable integer to every hierarchy node for signatures.
-	ids map[*taxonomy.Node]int
+	ids map[*taxonomy.Node]int32
 }
 
 func newTDSState(t *table.Table, hs []*taxonomy.Hierarchy, l int) *tdsState {
-	st := &tdsState{t: t, hs: hs, l: l, ids: make(map[*taxonomy.Node]int)}
-	id := 0
+	st := &tdsState{t: t, hs: hs, l: l, ids: make(map[*taxonomy.Node]int32), counter: t.SAGroupCounter()}
+	id := int32(0)
 	var walk func(n *taxonomy.Node)
 	walk = func(n *taxonomy.Node) {
 		st.ids[n] = id
@@ -101,34 +111,38 @@ func newTDSState(t *table.Table, hs []*taxonomy.Hierarchy, l int) *tdsState {
 	for _, h := range hs {
 		walk(h.Root)
 	}
-	st.nodeOf = make([]map[int]*taxonomy.Node, len(hs))
+	st.cols = make([][]int32, len(hs))
+	st.nodeOf = make([][]*taxonomy.Node, len(hs))
+	st.sigIDs = make([][]int32, len(hs))
 	for j, h := range hs {
-		m := make(map[int]*taxonomy.Node, h.Attribute.Cardinality())
-		for c := 0; c < h.Attribute.Cardinality(); c++ {
-			m[c] = h.Root
+		st.cols[j] = t.Col(j)
+		card := h.Attribute.Cardinality()
+		nodes := make([]*taxonomy.Node, card)
+		sig := make([]int32, card)
+		rootID := st.ids[h.Root]
+		for c := 0; c < card; c++ {
+			nodes[c] = h.Root
+			sig[c] = rootID
 		}
-		st.nodeOf[j] = m
+		st.nodeOf[j] = nodes
+		st.sigIDs[j] = sig
 	}
 	st.rebuildGroups()
 	return st
 }
 
-func (st *tdsState) signature(row int) string {
-	sig := make([]byte, 0, 4*len(st.hs))
-	for j := range st.hs {
-		n := st.nodeOf[j][st.t.QIValue(row, j)]
-		id := st.ids[n]
-		sig = append(sig, byte(id), byte(id>>8), byte(id>>16), ',')
-	}
-	return string(sig)
-}
-
+// rebuildGroups regroups the rows by cut signature. Groups are collected in
+// first-row order (deterministic, unlike ranging over a signature map) and
+// the per-row key is assembled from the dense sigIDs so the scan never calls
+// back into the table.
 func (st *tdsState) rebuildGroups() {
-	st.groups = make(map[string][]int)
-	for r := 0; r < st.t.Len(); r++ {
-		k := st.signature(r)
-		st.groups[k] = append(st.groups[k], r)
-	}
+	st.groups = table.GroupBySignature(st.t.Len(), func(r int, key []byte) []byte {
+		for j := range st.hs {
+			id := st.sigIDs[j][st.cols[j][r]]
+			key = append(key, byte(id), byte(id>>8), byte(id>>16), ',')
+		}
+		return key
+	})
 }
 
 // candidate is a potential specialization: replace node (attribute j) by its
@@ -138,7 +152,9 @@ type candidate struct {
 	node *taxonomy.Node
 }
 
-// activeInternalNodes enumerates the internal nodes currently on the cuts.
+// activeInternalNodes enumerates the internal nodes currently on the cuts,
+// in (attribute, code) order — deterministic, so gain ties in specializeBest
+// always resolve the same way.
 func (st *tdsState) activeInternalNodes() []candidate {
 	var out []candidate
 	for j := range st.hs {
@@ -168,41 +184,49 @@ func childOf(node *taxonomy.Node, code int) *taxonomy.Node {
 // evaluate checks whether specializing cand keeps every affected group
 // l-eligible and returns the information gain (reduction of log-width summed
 // over affected tuples). ok is false if the specialization is invalid.
+//
+// The per-code child is resolved once into a dense index over the
+// attribute's domain, the group rows are bucketed per child into reused
+// slices, and eligibility runs on the shared dense counter — the scan over
+// an affected group is pure array work.
 func (st *tdsState) evaluate(cand candidate) (gain float64, ok bool) {
 	l := st.l
 	widthBefore := math.Log2(float64(cand.node.Width()))
-	childCache := make(map[int]*taxonomy.Node)
+	col := st.cols[cand.j]
+	children := cand.node.Children
+
+	// childIdx[code] = 1 + index of the child covering code, 0 when no child
+	// covers it (which invalidates the specialization).
+	childIdx := make([]int32, len(st.nodeOf[cand.j]))
+	childGain := make([]float64, len(children))
+	for ci, ch := range children {
+		for _, c := range ch.Codes {
+			childIdx[c] = int32(ci + 1)
+		}
+		childGain[ci] = widthBefore - math.Log2(float64(ch.Width()))
+	}
+	parts := make([][]int, len(children))
+
 	for _, rows := range st.groups {
 		// Fast skip: the group is affected only if its attribute-j node is
 		// cand.node; every row in the group shares that node.
-		n := st.nodeOf[cand.j][st.t.QIValue(rows[0], cand.j)]
-		if n != cand.node {
+		if st.nodeOf[cand.j][col[rows[0]]] != cand.node {
 			continue
 		}
 		// Split the group's rows by child and check eligibility of each part.
-		parts := make(map[*taxonomy.Node]map[int]int) // child -> SA histogram
-		sizes := make(map[*taxonomy.Node]int)
+		for ci := range parts {
+			parts[ci] = parts[ci][:0]
+		}
 		for _, r := range rows {
-			code := st.t.QIValue(r, cand.j)
-			ch, cached := childCache[code]
-			if !cached {
-				ch = childOf(cand.node, code)
-				childCache[code] = ch
-			}
-			if ch == nil {
+			ci := childIdx[col[r]]
+			if ci == 0 {
 				return 0, false
 			}
-			hist := parts[ch]
-			if hist == nil {
-				hist = make(map[int]int)
-				parts[ch] = hist
-			}
-			hist[st.t.SAValue(r)]++
-			sizes[ch]++
-			gain += widthBefore - math.Log2(float64(ch.Width()))
+			parts[ci-1] = append(parts[ci-1], r)
+			gain += childGain[ci-1]
 		}
-		for ch, hist := range parts {
-			if sizes[ch] > 0 && !eligibility.IsEligibleHistogram(hist, l) {
+		for _, part := range parts {
+			if len(part) > 0 && !eligibility.IsEligibleGroup(st.counter, part, l) {
 				return 0, false
 			}
 		}
@@ -210,11 +234,13 @@ func (st *tdsState) evaluate(cand candidate) (gain float64, ok bool) {
 	return gain, true
 }
 
-// apply performs the specialization.
+// apply performs the specialization, updating the dense per-code node and
+// signature-id views of the cut together.
 func (st *tdsState) apply(cand candidate) {
 	for _, code := range cand.node.Codes {
 		ch := childOf(cand.node, code)
 		st.nodeOf[cand.j][code] = ch
+		st.sigIDs[cand.j][code] = st.ids[ch]
 	}
 	st.rebuildGroups()
 }
@@ -240,19 +266,30 @@ func (st *tdsState) specializeBest() bool {
 	return true
 }
 
-// generalized renders the current cut as a Generalized table.
+// generalized renders the current cut as a Generalized table. Cells are
+// resolved once per (attribute, code) and shared across the rows publishing
+// that code, so the render loop is a dense lookup per cell.
 func (st *tdsState) generalized() (*generalize.Generalized, error) {
 	t := st.t
+	cellOf := make([][]generalize.Cell, len(st.hs))
+	for j := range st.hs {
+		cellOf[j] = make([]generalize.Cell, len(st.nodeOf[j]))
+		for code, n := range st.nodeOf[j] {
+			if n == nil {
+				continue // code absent from the data; never published
+			}
+			if n.IsLeaf() {
+				cellOf[j][code] = generalize.Cell{Kind: generalize.CellExact, Value: n.Codes[0]}
+			} else {
+				cellOf[j][code] = generalize.Cell{Kind: generalize.CellSet, Set: append([]int(nil), n.Codes...)}
+			}
+		}
+	}
 	cells := make([][]generalize.Cell, t.Len())
 	for r := 0; r < t.Len(); r++ {
 		row := make([]generalize.Cell, t.Dimensions())
 		for j := range st.hs {
-			n := st.nodeOf[j][t.QIValue(r, j)]
-			if n.IsLeaf() {
-				row[j] = generalize.Cell{Kind: generalize.CellExact, Value: n.Codes[0]}
-			} else {
-				row[j] = generalize.Cell{Kind: generalize.CellSet, Set: append([]int(nil), n.Codes...)}
-			}
+			row[j] = cellOf[j][st.cols[j][r]]
 		}
 		cells[r] = row
 	}
