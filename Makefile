@@ -8,7 +8,7 @@ CORE_BENCH := BenchmarkAnonymize|BenchmarkPhase3Heavy|BenchmarkTPCore|BenchmarkT
 # with, and the end-to-end anonymization that sits on top of them.
 TABLE_BENCH := BenchmarkTableOps|BenchmarkGroupByQI|BenchmarkAnonymize$$
 
-.PHONY: all build test race bench bench-table bench-table-smoke bench-smoke fmt vet run-server smoke-server docs-lint
+.PHONY: all build test race bench bench-table bench-table-smoke bench-smoke fmt vet run-server smoke-server docs-lint fuzz-smoke cover
 
 all: build test
 
@@ -68,3 +68,22 @@ smoke-server:
 # package directory that no longer exists.
 docs-lint:
 	./scripts/docs-lint.sh
+
+# fuzz-smoke runs every native fuzz target briefly (seed corpus under
+# testdata/fuzz/ plus FUZZTIME of mutation per target), so the parsers that
+# face untrusted bytes — microdata CSV, job parameters, release CSVs — get
+# exercised on every push. Raise FUZZTIME locally for a real hunt, e.g.
+# `make fuzz-smoke FUZZTIME=5m`.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadCSV$$' -fuzztime $(FUZZTIME) ./internal/table
+	$(GO) test -run '^$$' -fuzz '^FuzzParseParams$$' -fuzztime $(FUZZTIME) ./internal/service
+	$(GO) test -run '^$$' -fuzz '^FuzzParseVerifyParams$$' -fuzztime $(FUZZTIME) ./internal/service
+	$(GO) test -run '^$$' -fuzz '^FuzzParseGeneralizedRelease$$' -fuzztime $(FUZZTIME) ./internal/audit
+	$(GO) test -run '^$$' -fuzz '^FuzzParseAnatomyRelease$$' -fuzztime $(FUZZTIME) ./internal/audit
+
+# cover enforces the coverage gate: per-package coverage for internal/... plus
+# a fail-under threshold on the total (85% by default; override with
+# COVER_THRESHOLD=NN). EXPERIMENTS.md records the per-package table.
+cover:
+	./scripts/coverage.sh

@@ -1,0 +1,175 @@
+// Command ldivaudit independently verifies a published release against the
+// original microdata: it re-derives the release's equivalence groups from the
+// release alone, checks l-diversity on them, and checks that the release is
+// consistent with the source (row counts, QI coverage, per-group sensitive
+// multisets). It prints the canonical machine-readable verdict JSON — the
+// same bytes ldiv.VerifyRelease and the ldivd server's POST /v1/verify
+// produce — and exits 1 when the release fails verification.
+//
+// Usage:
+//
+//	ldivaudit -original patients.csv -release published.csv -qi Age,Gender -sa Disease -l 2
+//	ldivaudit -original patients.csv -release qit.csv -st st.csv -qi Age,Gender -sa Disease -l 4
+//
+// Exit codes: 0 the release verifies, 1 it does not (or could not be read),
+// 2 usage errors.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strings"
+
+	"ldiv"
+)
+
+// options is the parsed and validated command line of ldivaudit.
+type options struct {
+	original string
+	release  string
+	st       string
+	qiCols   []string
+	sa       string
+	opts     ldiv.VerifyOptions
+	pretty   bool
+	quiet    bool
+}
+
+// errFlagParse marks errors the ContinueOnError FlagSet has already printed
+// (together with the usage text and flag defaults), so main exits without
+// repeating them.
+var errFlagParse = errors.New("flag parse error")
+
+// parseOptions parses and validates the command line.
+func parseOptions(args []string) (options, *flag.FlagSet, error) {
+	fs := flag.NewFlagSet("ldivaudit", flag.ContinueOnError)
+	original := fs.String("original", "", "original microdata CSV path (required)")
+	release := fs.String("release", "", "release CSV path: the generalized table, or anatomy's QIT (required)")
+	st := fs.String("st", "", "anatomy sensitive-table CSV path (switches to anatomy verification)")
+	qi := fs.String("qi", "", "comma-separated quasi-identifier column names (required)")
+	sa := fs.String("sa", "", "sensitive attribute column name (required)")
+	l := fs.Int("l", 0, "diversity parameter l the release claims (required, at least 2)")
+	entropy := fs.Bool("entropy", false, "additionally require entropy l-diversity")
+	c := fs.Float64("c", 0, "additionally require recursive (c,l)-diversity with this c (> 0 enables)")
+	maxViolations := fs.Int("max-violations", 0, "cap on recorded violations (0 = default, negative = unlimited)")
+	pretty := fs.Bool("pretty", false, "indent the verdict JSON")
+	quiet := fs.Bool("quiet", false, "suppress the human-readable summary on stderr")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return options{}, fs, err
+		}
+		return options{}, fs, fmt.Errorf("%w: %v", errFlagParse, err)
+	}
+	if *original == "" || *release == "" {
+		return options{}, fs, errors.New("-original and -release are required")
+	}
+	if *qi == "" || *sa == "" {
+		return options{}, fs, errors.New("-qi and -sa are required")
+	}
+	if *l < 2 {
+		return options{}, fs, fmt.Errorf("invalid -l %d: the diversity parameter must be at least 2", *l)
+	}
+	if *c != 0 && (!(*c > 0) || math.IsInf(*c, 1)) {
+		return options{}, fs, fmt.Errorf("invalid -c %g: the recursive constant must be a positive finite number", *c)
+	}
+	qiCols := strings.Split(*qi, ",")
+	for i := range qiCols {
+		qiCols[i] = strings.TrimSpace(qiCols[i])
+	}
+	return options{
+		original: *original,
+		release:  *release,
+		st:       *st,
+		qiCols:   qiCols,
+		sa:       *sa,
+		opts: ldiv.VerifyOptions{
+			L:             *l,
+			Entropy:       *entropy,
+			RecursiveC:    *c,
+			MaxViolations: *maxViolations,
+		},
+		pretty: *pretty,
+		quiet:  *quiet,
+	}, fs, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ldivaudit: ")
+
+	opts, fs, err := parseOptions(os.Args[1:])
+	if err != nil {
+		if err == flag.ErrHelp {
+			return
+		}
+		if !errors.Is(err, errFlagParse) {
+			fmt.Fprintln(os.Stderr, "ldivaudit:", err)
+			fs.Usage()
+		}
+		os.Exit(2)
+	}
+
+	orig, err := os.Open(opts.original)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer orig.Close()
+	t, err := ldiv.ReadCSV(bufio.NewReader(orig), opts.qiCols, opts.sa)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	release, err := os.Open(opts.release)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer release.Close()
+
+	var report *ldiv.ReleaseReport
+	if opts.st != "" {
+		st, err := os.Open(opts.st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer st.Close()
+		report, err = ldiv.VerifyAnatomyRelease(t, bufio.NewReader(release), bufio.NewReader(st), opts.opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		report, err = ldiv.VerifyRelease(t, bufio.NewReader(release), opts.opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	enc := json.NewEncoder(out)
+	if opts.pretty {
+		enc.SetIndent("", "  ")
+	}
+	if err := enc.Encode(report); err != nil {
+		log.Fatal(err)
+	}
+	if err := out.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	if !opts.quiet {
+		verdict := "PASS"
+		if !report.OK {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(os.Stderr, "%s: %d rows, %d release rows, %d groups, l=%d, privacy=%v fidelity=%v, %d violation(s)\n",
+			verdict, report.Rows, report.ReleaseRows, report.Groups, report.L, report.Privacy, report.Fidelity, report.ViolationCount)
+	}
+	if !report.OK {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ldiv"
+)
+
+func TestParseOptions(t *testing.T) {
+	base := []string{"-original", "o.csv", "-release", "r.csv", "-qi", "Age,Gender", "-sa", "Disease", "-l", "2"}
+	tests := []struct {
+		name    string
+		args    []string
+		wantErr string // substring of the expected error, "" for success
+		wantL   int
+		wantST  string
+	}{
+		{name: "generalized", args: base, wantL: 2},
+		{name: "anatomy", args: append([]string{"-st", "st.csv"}, base...), wantL: 2, wantST: "st.csv"},
+		{name: "l four", args: append([]string{"-l", "4"}, base[:len(base)-2]...), wantL: 4},
+		{name: "missing files", args: []string{"-qi", "A", "-sa", "B", "-l", "2"}, wantErr: "-original and -release are required"},
+		{name: "missing qi sa", args: []string{"-original", "o", "-release", "r", "-l", "2"}, wantErr: "-qi and -sa are required"},
+		{name: "missing l", args: base[:len(base)-2], wantErr: "invalid -l"},
+		{name: "l one", args: append([]string{"-l", "1"}, base[:len(base)-2]...), wantErr: "invalid -l"},
+		{name: "negative c", args: append([]string{"-c", "-1"}, base...), wantErr: "invalid -c"},
+		{name: "unknown flag", args: []string{"-nope"}, wantErr: "flag parse error"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			opts, _, err := parseOptions(tc.args)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if opts.opts.L != tc.wantL || opts.st != tc.wantST {
+				t.Errorf("opts = %+v, want l %d st %q", opts, tc.wantL, tc.wantST)
+			}
+			if len(opts.qiCols) != 2 || opts.qiCols[0] != "Age" || opts.qiCols[1] != "Gender" {
+				t.Errorf("qiCols = %v", opts.qiCols)
+			}
+		})
+	}
+}
+
+func TestUsagePrintsFlagDefaults(t *testing.T) {
+	_, fs, err := parseOptions([]string{"-l", "1", "-original", "o", "-release", "r", "-qi", "A", "-sa", "B"})
+	if err == nil {
+		t.Fatal("l=1 accepted")
+	}
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	fs.Usage()
+	out := buf.String()
+	for _, want := range []string{"-original", "-release", "-st", "-entropy", "-pretty"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("usage output misses %q:\n%s", want, out)
+		}
+	}
+}
+
+const sampleCSV = `Age,Gender,Disease
+30,M,flu
+30,F,cold
+40,M,flu
+40,F,cold
+50,M,angina
+50,F,flu
+60,M,cold
+60,F,angina
+`
+
+// writeFiles materializes the original table and a TP+ release in a temp dir
+// and returns their paths.
+func writeFiles(t *testing.T) (original, release string) {
+	t.Helper()
+	dir := t.TempDir()
+	original = filepath.Join(dir, "original.csv")
+	if err := os.WriteFile(original, []byte(sampleCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := ldiv.ReadCSV(strings.NewReader(sampleCSV), []string{"Age", "Gender"}, "Disease")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, _, err := ldiv.AnonymizeWith(tbl, 2, "tp+")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := ldiv.WriteGeneralizedCSV(&b, gen); err != nil {
+		t.Fatal(err)
+	}
+	release = filepath.Join(dir, "release.csv")
+	if err := os.WriteFile(release, b.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return original, release
+}
+
+// TestVerdictMatchesLibrary checks that the CLI's verification path (read
+// files, verify, canonical JSON) agrees with calling the library directly.
+func TestVerdictMatchesLibrary(t *testing.T) {
+	originalPath, releasePath := writeFiles(t)
+
+	tbl, err := ldiv.ReadCSV(strings.NewReader(sampleCSV), []string{"Age", "Gender"}, "Disease")
+	if err != nil {
+		t.Fatal(err)
+	}
+	releaseBytes, err := os.ReadFile(releasePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ldiv.VerifyRelease(tbl, bytes.NewReader(releaseBytes), ldiv.VerifyOptions{L: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.OK {
+		t.Fatalf("TP+ release failed library verification: %+v", want.Violations)
+	}
+
+	// Re-run through the same file-based path the CLI takes.
+	origFile, err := os.Open(originalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer origFile.Close()
+	tbl2, err := ldiv.ReadCSV(origFile, []string{"Age", "Gender"}, "Disease")
+	if err != nil {
+		t.Fatal(err)
+	}
+	relFile, err := os.Open(releasePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relFile.Close()
+	got, err := ldiv.VerifyRelease(tbl2, relFile, ldiv.VerifyOptions{L: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := json.Marshal(want)
+	gotJSON, _ := json.Marshal(got)
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Fatalf("file-based verdict differs:\n%s\n%s", wantJSON, gotJSON)
+	}
+}

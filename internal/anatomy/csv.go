@@ -1,0 +1,58 @@
+package anatomy
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"ldiv/internal/table"
+)
+
+// WriteQITCSV writes the published quasi-identifier table as CSV: one row per
+// original tuple with its surrogate identifier (the row index), its exact QI
+// labels, and its bucket id, under the header Row,<QI names...>,GroupID. The
+// layout is the canonical anatomy release format: the ldivd server serves it,
+// and the release auditor (internal/audit) parses it back.
+func WriteQITCSV(w io.Writer, t *table.Table, r *Result) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"Row"}, t.Schema().QINames()...)
+	header = append(header, "GroupID")
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("anatomy: writing QIT header: %w", err)
+	}
+	d := t.Dimensions()
+	rec := make([]string, d+2)
+	for i := 0; i < t.Len(); i++ {
+		rec[0] = strconv.Itoa(i)
+		for j := 0; j < d; j++ {
+			rec[j+1] = t.QILabel(i, j)
+		}
+		rec[d+1] = strconv.Itoa(r.GroupOf[i])
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("anatomy: writing QIT row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSTCSV writes the published sensitive table as CSV: per bucket, the
+// sensitive labels with their multiplicities under the header
+// GroupID,<SA name>,Count, ordered by (GroupID, sensitive code). Together
+// with WriteQITCSV it forms the two-table anatomy release.
+func WriteSTCSV(w io.Writer, t *table.Table, r *Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{"GroupID", t.Schema().SA().Name(), "Count"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("anatomy: writing ST header: %w", err)
+	}
+	for _, row := range r.ST(t) {
+		rec := []string{strconv.Itoa(row.GroupID), row.SALabel, strconv.Itoa(row.Count)}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("anatomy: writing ST row for group %d: %w", row.GroupID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

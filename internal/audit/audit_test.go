@@ -1,0 +1,437 @@
+package audit_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ldiv/internal/anatomy"
+	"ldiv/internal/audit"
+	"ldiv/internal/generalize"
+	"ldiv/internal/table"
+)
+
+// sampleCSV is a small 2-eligible table: no disease exceeds half the rows,
+// and the {0..3} / {4..7} halves are each 2-diverse.
+const sampleCSV = `Age,Gender,Disease
+30,M,flu
+30,F,cold
+40,M,flu
+40,F,cold
+50,M,angina
+50,F,flu
+60,M,cold
+60,F,angina
+`
+
+// readSample parses sampleCSV (or a variant) into a table.
+func readSample(t *testing.T, csv string) *table.Table {
+	t.Helper()
+	tab, err := table.ReadCSV(strings.NewReader(csv), []string{"Age", "Gender"}, "Disease")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// suppressCSV renders the suppression release of the given partition as CSV.
+func suppressCSV(t *testing.T, tab *table.Table, groups [][]int) string {
+	t.Helper()
+	gen, err := generalize.Suppress(tab, generalize.NewPartition(groups))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := generalize.WriteCSV(&b, gen); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// halves is a 2-diverse partition of the 8-row sample.
+var halves = [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}}
+
+func verify(t *testing.T, tab *table.Table, release string, opts audit.Options) *audit.Report {
+	t.Helper()
+	rep, err := audit.VerifyGeneralized(tab, strings.NewReader(release), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// kinds collects the distinct violation kinds of a report.
+func kinds(rep *audit.Report) map[audit.ViolationKind]bool {
+	out := make(map[audit.ViolationKind]bool)
+	for _, v := range rep.Violations {
+		out[v.Kind] = true
+	}
+	return out
+}
+
+func TestVerifyGeneralizedSuppressionOK(t *testing.T) {
+	tab := readSample(t, sampleCSV)
+	release := suppressCSV(t, tab, halves)
+	rep := verify(t, tab, release, audit.Options{L: 2})
+	if !rep.OK || !rep.Privacy || !rep.Fidelity {
+		t.Fatalf("clean release rejected: %+v", rep)
+	}
+	if rep.Rows != 8 || rep.ReleaseRows != 8 {
+		t.Fatalf("row accounting wrong: %+v", rep)
+	}
+	if rep.ViolationCount != 0 || len(rep.Violations) != 0 {
+		t.Fatalf("unexpected violations: %+v", rep.Violations)
+	}
+}
+
+func TestVerifyGeneralizedMultiDimensionalOK(t *testing.T) {
+	tab := readSample(t, sampleCSV)
+	gen, err := generalize.MultiDimensional(tab, generalize.NewPartition(halves))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := generalize.WriteCSV(&b, gen); err != nil {
+		t.Fatal(err)
+	}
+	rep := verify(t, tab, b.String(), audit.Options{L: 2})
+	if !rep.OK {
+		t.Fatalf("multi-dimensional release rejected: %+v", rep.Violations)
+	}
+}
+
+func TestVerifyGeneralizedSchemaMismatch(t *testing.T) {
+	tab := readSample(t, sampleCSV)
+	release := strings.Replace(suppressCSV(t, tab, halves), "Age,Gender,Disease", "Age,Sex,Disease", 1)
+	rep := verify(t, tab, release, audit.Options{L: 2})
+	if rep.OK || !kinds(rep)[audit.ViolationSchema] {
+		t.Fatalf("renamed header not caught: %+v", rep.Violations)
+	}
+}
+
+func TestVerifyGeneralizedRowCount(t *testing.T) {
+	tab := readSample(t, sampleCSV)
+	lines := strings.Split(strings.TrimSuffix(suppressCSV(t, tab, halves), "\n"), "\n")
+	release := strings.Join(lines[:len(lines)-1], "\n") + "\n" // drop the last data row
+	rep := verify(t, tab, release, audit.Options{L: 2})
+	if rep.OK || !kinds(rep)[audit.ViolationRowCount] {
+		t.Fatalf("dropped row not caught: %+v", rep.Violations)
+	}
+	if rep.Fidelity {
+		t.Fatal("row_count must fail the fidelity verdict")
+	}
+}
+
+func TestVerifyGeneralizedPrivacyViolation(t *testing.T) {
+	tab := readSample(t, sampleCSV)
+	// Rows 0 and 2 share Disease=flu: a group of exactly these two rows has
+	// 2 tuples, both flu — frequency 2 > 2/2, and only 1 distinct value.
+	release := suppressCSV(t, tab, [][]int{{0, 2}, {1, 3}, {4, 5, 6, 7}})
+	rep := verify(t, tab, release, audit.Options{L: 2})
+	ks := kinds(rep)
+	if rep.OK || !ks[audit.ViolationFrequency] || !ks[audit.ViolationDistinct] {
+		t.Fatalf("homogeneous group not caught: %+v", rep.Violations)
+	}
+	if rep.Privacy {
+		t.Fatal("privacy verdict must be false")
+	}
+	if !rep.Fidelity {
+		t.Fatalf("fidelity should hold (the release is faithful): %+v", rep.Violations)
+	}
+}
+
+func TestVerifyGeneralizedEntropyAndRecursiveOptIn(t *testing.T) {
+	// One group, 4 tuples: flu,flu,flu... not eligible. Use a skewed but
+	// frequency-2-diverse group: flu,flu,cold,angina (4 >= 2*2). Entropy is
+	// H = -(1/2 log 1/2 + 1/4 log 1/4 * 2) = 1.04 > log 2 = 0.69, so use
+	// l=2 entropy passes; recursive with tiny c fails.
+	csv := `Age,Gender,Disease
+30,M,flu
+30,F,flu
+40,M,cold
+40,F,angina
+`
+	tab := readSample(t, csv)
+	release := suppressCSV(t, tab, [][]int{{0, 1, 2, 3}})
+	rep := verify(t, tab, release, audit.Options{L: 2, Entropy: true, RecursiveC: 0.5})
+	ks := kinds(rep)
+	if ks[audit.ViolationEntropy] {
+		t.Fatalf("entropy 2-diversity should hold: %+v", rep.Violations)
+	}
+	// r_1 = 2, tail from position l=2: 1+1 = 2; need r_1 < 0.5*2 = 1: fails.
+	if !ks[audit.ViolationRecursive] {
+		t.Fatalf("recursive (0.5,2)-diversity should fail: %+v", rep.Violations)
+	}
+}
+
+func TestVerifyGeneralizedUnknownAndCoverage(t *testing.T) {
+	tab := readSample(t, sampleCSV)
+	release := suppressCSV(t, tab, halves)
+	// The sample suppresses everything in both halves; rebuild with exact
+	// age groups instead so there are exact cells to corrupt.
+	release = suppressCSV(t, tab, [][]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}})
+	// {0,1} agree on Age=30: corrupt row 0's age to 40 (a known label that
+	// does not cover the original) and row 2's age to 99 (unknown).
+	lines := strings.Split(release, "\n")
+	lines[1] = strings.Replace(lines[1], "30", "40", 1)
+	lines[3] = strings.Replace(lines[3], "40", "99", 1)
+	rep := verify(t, tab, strings.Join(lines, "\n"), audit.Options{L: 2})
+	ks := kinds(rep)
+	if !ks[audit.ViolationQICoverage] {
+		t.Fatalf("non-covering exact cell not caught: %+v", rep.Violations)
+	}
+	if !ks[audit.ViolationUnknownValue] {
+		t.Fatalf("unknown label not caught: %+v", rep.Violations)
+	}
+}
+
+func TestVerifyGeneralizedSwappedSA(t *testing.T) {
+	tab := readSample(t, sampleCSV)
+	// Quarter groups keep the Age column exact, so the four groups have
+	// distinct published signatures (the halves would both suppress to
+	// all-star rows and merge into one group, hiding a swap).
+	release := suppressCSV(t, tab, [][]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}})
+	// Swap the SA values of row 0 (flu, group "30,*") and row 7 (angina,
+	// group "60,*"). Global counts are unchanged; per-group multisets not.
+	lines := strings.Split(release, "\n")
+	lines[1] = strings.Replace(lines[1], "flu", "angina", 1)
+	lines[8] = strings.Replace(lines[8], "angina", "flu", 1)
+	rep := verify(t, tab, strings.Join(lines, "\n"), audit.Options{L: 2})
+	if rep.OK || !kinds(rep)[audit.ViolationSAMismatch] {
+		t.Fatalf("cross-group SA swap not caught: %+v", rep.Violations)
+	}
+	if rep.Fidelity {
+		t.Fatal("sa_mismatch must fail the fidelity verdict")
+	}
+}
+
+func TestVerifyOptionsValidation(t *testing.T) {
+	tab := readSample(t, sampleCSV)
+	if _, err := audit.VerifyGeneralized(tab, strings.NewReader(""), audit.Options{L: 1}); err == nil {
+		t.Fatal("l=1 must be rejected")
+	}
+	if _, err := audit.VerifyAnatomy(tab, strings.NewReader(""), strings.NewReader(""), audit.Options{L: 0}); err == nil {
+		t.Fatal("l=0 must be rejected")
+	}
+}
+
+func TestVerifyGeneralizedEmptyRelease(t *testing.T) {
+	tab := readSample(t, sampleCSV)
+	rep := verify(t, tab, "", audit.Options{L: 2})
+	if rep.OK || !kinds(rep)[audit.ViolationMalformed] {
+		t.Fatalf("empty release not flagged: %+v", rep.Violations)
+	}
+}
+
+func TestVerifyGeneralizedViolationCap(t *testing.T) {
+	tab := readSample(t, sampleCSV)
+	release := suppressCSV(t, tab, [][]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}})
+	// Replace every SA label with an unknown one: many violations.
+	release = strings.ReplaceAll(release, "flu", "zzz")
+	release = strings.ReplaceAll(release, "cold", "zzz")
+	release = strings.ReplaceAll(release, "angina", "zzz")
+	rep, err := audit.VerifyGeneralized(tab, strings.NewReader(release), audit.Options{L: 2, MaxViolations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 2 || !rep.Truncated {
+		t.Fatalf("cap not applied: %d recorded, truncated=%v", len(rep.Violations), rep.Truncated)
+	}
+	if rep.ViolationCount <= 2 {
+		t.Fatalf("total count must exceed the cap, got %d", rep.ViolationCount)
+	}
+}
+
+// anatomyRelease renders the two-table release of an anatomy run.
+func anatomyRelease(t *testing.T, tab *table.Table, l int) (qit, st string) {
+	t.Helper()
+	an, err := anatomy.Anonymize(tab, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qb, sb bytes.Buffer
+	if err := anatomy.WriteQITCSV(&qb, tab, an); err != nil {
+		t.Fatal(err)
+	}
+	if err := anatomy.WriteSTCSV(&sb, tab, an); err != nil {
+		t.Fatal(err)
+	}
+	return qb.String(), sb.String()
+}
+
+func verifyAnatomy(t *testing.T, tab *table.Table, qit, st string, opts audit.Options) *audit.Report {
+	t.Helper()
+	rep, err := audit.VerifyAnatomy(tab, strings.NewReader(qit), strings.NewReader(st), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestVerifyAnatomyOK(t *testing.T) {
+	tab := readSample(t, sampleCSV)
+	qit, st := anatomyRelease(t, tab, 2)
+	rep := verifyAnatomy(t, tab, qit, st, audit.Options{L: 2})
+	if !rep.OK {
+		t.Fatalf("clean anatomy release rejected: %+v", rep.Violations)
+	}
+	if rep.Kind != audit.KindAnatomy || rep.Groups == 0 {
+		t.Fatalf("report shape wrong: %+v", rep)
+	}
+}
+
+func TestVerifyAnatomyWidenedCount(t *testing.T) {
+	tab := readSample(t, sampleCSV)
+	qit, st := anatomyRelease(t, tab, 2)
+	// Widen the first ST count: group size no longer reconciles.
+	st = strings.Replace(st, ",1\n", ",2\n", 1)
+	rep := verifyAnatomy(t, tab, qit, st, audit.Options{L: 2})
+	ks := kinds(rep)
+	if rep.OK || !ks[audit.ViolationSTMismatch] {
+		t.Fatalf("widened count not caught as st_mismatch: %+v", rep.Violations)
+	}
+	if !ks[audit.ViolationSAMismatch] {
+		t.Fatalf("widened count must also break the original multiset match: %+v", rep.Violations)
+	}
+}
+
+func TestVerifyAnatomyHugeCountClamped(t *testing.T) {
+	tab := readSample(t, sampleCSV)
+	qit, st := anatomyRelease(t, tab, 2)
+	// A count that would truncate to a small number if narrowed to int32
+	// (2^32 + 1) must still be caught, and must not corrupt the privacy
+	// histograms into a false verdict.
+	st = strings.Replace(st, ",1\n", ",4294967297\n", 1)
+	rep := verifyAnatomy(t, tab, qit, st, audit.Options{L: 2})
+	if rep.OK || !kinds(rep)[audit.ViolationSTMismatch] {
+		t.Fatalf("2^32+1 count not caught as st_mismatch: %+v", rep.Violations)
+	}
+}
+
+func TestVerifyGeneralizedOverlongSetCell(t *testing.T) {
+	tab := readSample(t, sampleCSV)
+	// A set cell far longer than the whole domain can render is rejected as
+	// an unknown value instead of being fed to the segmentation DP.
+	release := "Age,Gender,Disease\n\"{" + strings.Repeat("30,", 5000) + "30}\",M,flu\n"
+	rep := verify(t, tab, release, audit.Options{L: 2})
+	if rep.OK || !kinds(rep)[audit.ViolationUnknownValue] {
+		t.Fatalf("overlong set cell not rejected: %+v", rep.Violations)
+	}
+}
+
+func TestVerifyAnatomyDuplicateSTEntriesClamped(t *testing.T) {
+	tab := readSample(t, sampleCSV)
+	qit, _ := anatomyRelease(t, tab, 2)
+	// Rebuild an ST whose group 0 publishes the same label in several
+	// entries; the aggregated sum (12) exceeds the 8-row original, so it
+	// must be flagged — and the clamp keeps the privacy histogram sane.
+	st := "GroupID," + tab.Schema().SA().Name() + ",Count\n" +
+		"0,flu,4\n0,flu,4\n0,flu,4\n" +
+		"1,flu,1\n1,cold,1\n2,angina,1\n2,flu,1\n3,cold,1\n3,angina,1\n0,cold,1\n"
+	rep := verifyAnatomy(t, tab, qit, st, audit.Options{L: 2})
+	ks := kinds(rep)
+	if rep.OK || !ks[audit.ViolationSTMismatch] {
+		t.Fatalf("over-table aggregated count not caught: %+v", rep.Violations)
+	}
+}
+
+func TestVerifyGeneralizedMalformedRowKeepsAlignment(t *testing.T) {
+	tab := readSample(t, sampleCSV)
+	release := suppressCSV(t, tab, [][]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}})
+	// Truncate one middle data row to a wrong field count. The remaining
+	// rows keep their file positions, so the auditor must report only the
+	// malformed row — no spurious coverage or multiset cascade.
+	lines := strings.Split(strings.TrimSuffix(release, "\n"), "\n")
+	lines[4] = "oops"
+	rep := verify(t, tab, strings.Join(lines, "\n")+"\n", audit.Options{L: 2})
+	ks := kinds(rep)
+	if rep.OK || !ks[audit.ViolationMalformed] {
+		t.Fatalf("malformed row not caught: %+v", rep.Violations)
+	}
+	for _, v := range rep.Violations {
+		if v.Kind == audit.ViolationQICoverage || v.Kind == audit.ViolationRowCount {
+			t.Fatalf("skipped row desynchronized the remaining rows: %+v", rep.Violations)
+		}
+	}
+	if rep.ReleaseRows != 8 {
+		t.Fatalf("skipped rows must still count as present: %d", rep.ReleaseRows)
+	}
+}
+
+func TestVerifyGeneralizedParseErrorDoesNotHideLaterViolations(t *testing.T) {
+	tab := readSample(t, sampleCSV)
+	release := suppressCSV(t, tab, [][]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}})
+	lines := strings.Split(strings.TrimSuffix(release, "\n"), "\n")
+	// Corrupt data row 2 with a quote syntax error AND publish a
+	// non-covering value in the last row: both must be reported.
+	lines[3] = `"40"x,*,flu`
+	last := strings.SplitN(lines[8], ",", 2)
+	lines[8] = "30," + last[1]
+	rep := verify(t, tab, strings.Join(lines, "\n")+"\n", audit.Options{L: 2})
+	ks := kinds(rep)
+	if !ks[audit.ViolationMalformed] {
+		t.Fatalf("quote error not reported: %+v", rep.Violations)
+	}
+	if !ks[audit.ViolationQICoverage] {
+		t.Fatalf("violation after the parse error was hidden: %+v", rep.Violations)
+	}
+}
+
+func TestVerifyGeneralizedAmbiguousSetSegmentation(t *testing.T) {
+	// A domain where one label ("x,y") is the comma-join of two others: the
+	// rendered set "{x,x,y}" is ambiguous, and the auditor must accept any
+	// valid reading instead of refuting a correct release.
+	csv := "A,S\n\"x,y\",a\nx,b\ny,a\n\"x,y\",b\n"
+	tab, err := table.ReadCSV(strings.NewReader(csv), []string{"A"}, "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := "A,S\n\"{x,x,y}\",a\n\"{x,x,y}\",b\n\"{y,x,y}\",a\n\"{y,x,y}\",b\n"
+	rep := verify(t, tab, release, audit.Options{L: 2})
+	if !rep.OK {
+		t.Fatalf("ambiguous but valid set cells refuted: %+v", rep.Violations)
+	}
+}
+
+func TestVerifyAnatomyBadGroupRef(t *testing.T) {
+	tab := readSample(t, sampleCSV)
+	qit, st := anatomyRelease(t, tab, 2)
+	// Point an ST row at a group id that does not exist in the QIT.
+	stLines := strings.Split(strings.TrimSuffix(st, "\n"), "\n")
+	stLines[1] = "99" + stLines[1][strings.Index(stLines[1], ","):]
+	rep := verifyAnatomy(t, tab, qit, strings.Join(stLines, "\n")+"\n", audit.Options{L: 2})
+	if rep.OK || !kinds(rep)[audit.ViolationGroupRef] {
+		t.Fatalf("dangling ST group not caught: %+v", rep.Violations)
+	}
+}
+
+func TestVerifyAnatomyDuplicateRowRef(t *testing.T) {
+	tab := readSample(t, sampleCSV)
+	qit, st := anatomyRelease(t, tab, 2)
+	// Make QIT row 2 reference tuple 0 again.
+	lines := strings.Split(strings.TrimSuffix(qit, "\n"), "\n")
+	first := lines[1]
+	comma := strings.Index(first, ",")
+	lines[2] = "0" + first[comma:]
+	rep := verifyAnatomy(t, tab, strings.Join(lines, "\n")+"\n", st, audit.Options{L: 2})
+	if rep.OK || !kinds(rep)[audit.ViolationRowRef] {
+		t.Fatalf("duplicate tuple reference not caught: %+v", rep.Violations)
+	}
+}
+
+func TestVerifyAnatomyExactQIMismatch(t *testing.T) {
+	tab := readSample(t, sampleCSV)
+	qit, st := anatomyRelease(t, tab, 2)
+	// Tuple 0 has Age=30; publish 40 instead.
+	lines := strings.Split(qit, "\n")
+	for i := 1; i < len(lines); i++ {
+		if strings.HasPrefix(lines[i], "0,") {
+			lines[i] = strings.Replace(lines[i], "30", "40", 1)
+			break
+		}
+	}
+	rep := verifyAnatomy(t, tab, strings.Join(lines, "\n"), st, audit.Options{L: 2})
+	if rep.OK || !kinds(rep)[audit.ViolationQICoverage] {
+		t.Fatalf("inexact anatomy QI not caught: %+v", rep.Violations)
+	}
+}

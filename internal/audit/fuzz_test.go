@@ -1,0 +1,84 @@
+package audit_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ldiv/internal/audit"
+	"ldiv/internal/table"
+)
+
+// fuzzOriginal builds the fixed original table every release fuzz input is
+// verified against.
+func fuzzOriginal(tb testing.TB) *table.Table {
+	tb.Helper()
+	tab, err := table.ReadCSV(strings.NewReader(sampleCSV), []string{"Age", "Gender"}, "Disease")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return tab
+}
+
+// checkReport asserts the structural invariants every verdict must satisfy,
+// whatever bytes produced it.
+func checkReport(t *testing.T, rep *audit.Report) {
+	t.Helper()
+	if rep == nil {
+		t.Fatal("nil report without an error")
+	}
+	if len(rep.Violations) > rep.ViolationCount {
+		t.Fatalf("recorded %d violations but counted %d", len(rep.Violations), rep.ViolationCount)
+	}
+	if rep.OK != (rep.ViolationCount == 0) {
+		t.Fatalf("ok=%v with %d violations", rep.OK, rep.ViolationCount)
+	}
+	if rep.OK && (!rep.Privacy || !rep.Fidelity) {
+		t.Fatalf("ok verdict with failing sub-verdicts: %+v", rep)
+	}
+	if rep.Truncated && len(rep.Violations) >= rep.ViolationCount {
+		t.Fatalf("truncated report records every violation: %+v", rep)
+	}
+}
+
+// FuzzParseGeneralizedRelease fuzzes the generalized-release parser and
+// verifier with arbitrary bytes: it must never panic and never return an
+// error for in-memory input (corrupt releases are verdicts, not errors), and
+// the report invariants must hold.
+func FuzzParseGeneralizedRelease(f *testing.F) {
+	f.Add([]byte("Age,Gender,Disease\n30,*,flu\n30,*,cold\n40,*,flu\n40,*,cold\n50,*,angina\n50,*,flu\n60,*,cold\n60,*,angina\n"))
+	f.Add([]byte("Age,Gender,Disease\n{30,40},M,flu\n{30,40},F,cold\n"))
+	f.Add([]byte("Age,Gender,Disease\n*,*,flu\n"))
+	f.Add([]byte("Age,Sex,Disease\n30,M,flu\n"))
+	f.Add([]byte("Age,Gender,Disease\n30,M\n"))
+	f.Add([]byte("Age,Gender,Disease\n99,Q,zzz\n"))
+	f.Add([]byte("\"unterminated\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab := fuzzOriginal(t)
+		rep, err := audit.VerifyGeneralized(tab, bytes.NewReader(data), audit.Options{L: 2})
+		if err != nil {
+			t.Fatalf("in-memory verification returned an operational error: %v", err)
+		}
+		checkReport(t, rep)
+	})
+}
+
+// FuzzParseAnatomyRelease is the same contract for the two-table release.
+func FuzzParseAnatomyRelease(f *testing.F) {
+	f.Add(
+		[]byte("Row,Age,Gender,GroupID\n0,30,M,0\n1,30,F,0\n2,40,M,1\n3,40,F,1\n4,50,M,2\n5,50,F,2\n6,60,M,3\n7,60,F,3\n"),
+		[]byte("GroupID,Disease,Count\n0,flu,1\n0,cold,1\n1,flu,1\n1,cold,1\n2,angina,1\n2,flu,1\n3,cold,1\n3,angina,1\n"),
+	)
+	f.Add([]byte("Row,Age,Gender,GroupID\n0,30,M,99\n"), []byte("GroupID,Disease,Count\n0,flu,0\n"))
+	f.Add([]byte("Row,Age,Gender,GroupID\nx,30,M,y\n"), []byte("GroupID,Disease,Count\n"))
+	f.Add([]byte(""), []byte(""))
+	f.Fuzz(func(t *testing.T, qit, st []byte) {
+		tab := fuzzOriginal(t)
+		rep, err := audit.VerifyAnatomy(tab, bytes.NewReader(qit), bytes.NewReader(st), audit.Options{L: 2})
+		if err != nil {
+			t.Fatalf("in-memory verification returned an operational error: %v", err)
+		}
+		checkReport(t, rep)
+	})
+}

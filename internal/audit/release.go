@@ -1,0 +1,365 @@
+package audit
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ldiv/internal/generalize"
+	"ldiv/internal/table"
+)
+
+// This file parses releases back into equivalence groups using only the
+// release's own structure. Content problems (wrong header, bad field counts,
+// CSV syntax errors) are recorded as typed violations — a corrupted release is
+// a verification verdict, not an operational error — and an error is returned
+// only when the underlying reader fails.
+
+// genRow is one parsed data row of a generalized release.
+type genRow struct {
+	idx   int      // 0-based data-row index in the release file
+	qi    []string // published QI labels (exact, "*", or "{v1,v2,...}")
+	sa    string   // published sensitive label
+	group int      // QI-signature group, assigned by groupRows
+}
+
+// parseGeneralized reads a generalized release. It returns the parsed rows,
+// whether the structure was sound enough to interpret them (a header mismatch
+// makes column meanings unknowable, so verification stops there), and how
+// many data rows had to be skipped — a skipped row breaks the release/source
+// row alignment, so callers must not run row-aligned fidelity checks then.
+func parseGeneralized(sch *table.Schema, release io.Reader, rep *reporter) (rows []genRow, ok bool, skipped int, err error) {
+	cr := csv.NewReader(release)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, false, 0, readFailure(err, rep, "release has no header")
+	}
+	want := append(sch.QINames(), sch.SA().Name())
+	if !slices.Equal(header, want) {
+		rep.add(ViolationSchema, -1, -1,
+			fmt.Sprintf("release header %q does not match the original schema %q", header, want))
+		return nil, false, 0, nil
+	}
+	d := sch.Dimensions()
+	for i := 0; ; i++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if !isParseError(err) {
+				return rows, true, skipped, fmt.Errorf("audit: reading release: %w", err)
+			}
+			// Keep reading: one corrupt record must not hide violations in
+			// the rest of the release.
+			skipped++
+			rep.add(ViolationMalformed, -1, i, fmt.Sprintf("release row %d is not parseable CSV: %v", i, err))
+			continue
+		}
+		if len(rec) != d+1 {
+			skipped++
+			rep.add(ViolationMalformed, -1, i,
+				fmt.Sprintf("release row %d has %d fields, the schema needs %d", i, len(rec), d+1))
+			continue
+		}
+		rows = append(rows, genRow{idx: i, qi: rec[:d:d], sa: rec[d], group: -1})
+	}
+	return rows, true, skipped, nil
+}
+
+// groupRows partitions release rows into equivalence groups of identical
+// published QI signatures — exactly the groups a linking adversary can
+// distinguish — in first-appearance order. It assigns genRow.group and
+// returns the groups as release-row-index lists.
+func groupRows(rows []genRow) [][]int {
+	byKey := make(map[string]int)
+	var groups [][]int
+	var key []byte
+	for i := range rows {
+		key = key[:0]
+		for _, lab := range rows[i].qi {
+			// Length-prefix each label so no separator choice can collide.
+			key = strconv.AppendInt(key, int64(len(lab)), 10)
+			key = append(key, ':')
+			key = append(key, lab...)
+		}
+		gi, seen := byKey[string(key)]
+		if !seen {
+			gi = len(groups)
+			byKey[string(key)] = gi
+			groups = append(groups, nil)
+		}
+		rows[i].group = gi
+		groups[gi] = append(groups[gi], i)
+	}
+	return groups
+}
+
+// cellParser interprets published QI labels for one attribute: "*" is a
+// suppressed cell, a label in the attribute's domain is an exact cell, and
+// "{v1,v2,...}" whose interior segments into domain labels is a sub-domain
+// cell. Anything else is unknown. It is built once per attribute per
+// verification so the domain scan is paid once.
+type cellParser struct {
+	attr     *table.Attribute
+	labels   []string // domain labels in code order
+	anyComma bool     // some domain label contains ',': naive splitting is unsafe
+	maxSet   int      // longest interior a duplicate-free set can render to
+}
+
+func newCellParser(a *table.Attribute) *cellParser {
+	p := &cellParser{attr: a, labels: a.Labels()}
+	for _, lab := range p.labels {
+		if strings.Contains(lab, ",") {
+			p.anyComma = true
+		}
+		p.maxSet += len(lab) + 1
+	}
+	return p
+}
+
+// parse interprets one published label; the second result reports whether the
+// label was interpretable over the original domain.
+func (p *cellParser) parse(label string) (generalize.Cell, bool) {
+	if label == "*" {
+		return generalize.Cell{Kind: generalize.CellStar}, true
+	}
+	if code, ok := p.attr.Code(label); ok {
+		return generalize.Cell{Kind: generalize.CellExact, Value: code}, true
+	}
+	if len(label) >= 2 && strings.HasPrefix(label, "{") && strings.HasSuffix(label, "}") {
+		set, ok := p.parseSet(label[1 : len(label)-1])
+		if !ok {
+			return generalize.Cell{}, false
+		}
+		return generalize.Cell{Kind: generalize.CellSet, Set: set}, true
+	}
+	return generalize.Cell{}, false
+}
+
+// setParseBudget caps the label-comparison work one set cell's segmentation
+// may spend. Legitimate cells (census interval domains) stay far below it;
+// an adversarial original+release pair that maximizes both the domain and
+// the cell length gives up here instead of stalling a verification worker.
+const setParseBudget = 1 << 22
+
+// parseSet recovers the member codes of a "{v1,v2,...}" interior. The
+// renderer joins labels with bare commas, so when a domain label itself
+// contains a comma (census interval labels like "[30,50)" do) the interior is
+// segmented against the known domain with a right-to-left DP instead of a
+// naive split.
+func (p *cellParser) parseSet(interior string) ([]int, bool) {
+	// A set of distinct domain labels can never render longer than the whole
+	// domain joined; longer interiors are rejected up front, which also
+	// bounds the DP below to domain-sized work on attacker-sized cells.
+	if interior == "" || len(interior) > p.maxSet {
+		return nil, false
+	}
+	budget := setParseBudget
+	var set []int
+	if !p.anyComma {
+		for _, part := range strings.Split(interior, ",") {
+			code, ok := p.attr.Code(part)
+			if !ok {
+				return nil, false
+			}
+			set = append(set, code)
+		}
+	} else {
+		n := len(interior)
+		// ok[i] reports whether interior[i:] segments into comma-joined
+		// domain labels (backward pass); reach[i] whether some valid
+		// segmentation of the whole interior has a label starting at i
+		// (forward pass). The rendering is ambiguous when one label is a
+		// comma-join of others, so the set is read permissively as every
+		// code appearing in any valid segmentation — a correct release is
+		// never refuted over an ambiguity its own renderer created.
+		ok := make([]bool, n+1)
+		ok[n] = true
+		for i := n - 1; i >= 0; i-- {
+			for _, lab := range p.labels {
+				if budget -= len(lab) + 1; budget < 0 {
+					return nil, false
+				}
+				if !strings.HasPrefix(interior[i:], lab) {
+					continue
+				}
+				j := i + len(lab)
+				if j == n || (interior[j] == ',' && ok[j+1]) {
+					ok[i] = true
+					break
+				}
+			}
+		}
+		if !ok[0] {
+			return nil, false
+		}
+		reach := make([]bool, n+1)
+		reach[0] = true
+		for i := 0; i < n; i++ {
+			if !reach[i] {
+				continue
+			}
+			for code, lab := range p.labels {
+				if budget -= len(lab) + 1; budget < 0 {
+					return nil, false
+				}
+				if !strings.HasPrefix(interior[i:], lab) {
+					continue
+				}
+				j := i + len(lab)
+				if j == n {
+					set = append(set, code)
+				} else if interior[j] == ',' && ok[j+1] {
+					set = append(set, code)
+					reach[j+1] = true
+				}
+			}
+		}
+	}
+	sort.Ints(set)
+	return slices.Compact(set), true
+}
+
+// qitRow is one parsed row of anatomy's quasi-identifier table.
+type qitRow struct {
+	idx int      // 0-based data-row index in the QIT file
+	row int      // published surrogate tuple identifier
+	qi  []string // exact QI labels
+	gid int      // published bucket identifier
+}
+
+// parseQIT reads anatomy's quasi-identifier table (Row, QI..., GroupID). The
+// skipped count reports data rows that were present but unreadable, so the
+// caller's row-count reconciliation sees them.
+func parseQIT(sch *table.Schema, qit io.Reader, rep *reporter) (rows []qitRow, ok bool, skipped int, err error) {
+	cr := csv.NewReader(qit)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, false, 0, readFailure(err, rep, "QIT has no header")
+	}
+	want := append([]string{"Row"}, sch.QINames()...)
+	want = append(want, "GroupID")
+	if !slices.Equal(header, want) {
+		rep.add(ViolationSchema, -1, -1,
+			fmt.Sprintf("QIT header %q does not match the expected anatomy layout %q", header, want))
+		return nil, false, 0, nil
+	}
+	d := sch.Dimensions()
+	for i := 0; ; i++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if !isParseError(err) {
+				return rows, true, skipped, fmt.Errorf("audit: reading QIT: %w", err)
+			}
+			skipped++
+			rep.add(ViolationMalformed, -1, i, fmt.Sprintf("QIT row %d is not parseable CSV: %v", i, err))
+			continue
+		}
+		if len(rec) != d+2 {
+			skipped++
+			rep.add(ViolationMalformed, -1, i,
+				fmt.Sprintf("QIT row %d has %d fields, the layout needs %d", i, len(rec), d+2))
+			continue
+		}
+		rowID, err1 := strconv.Atoi(rec[0])
+		gid, err2 := strconv.Atoi(rec[d+1])
+		if err1 != nil || err2 != nil {
+			skipped++
+			rep.add(ViolationMalformed, -1, i,
+				fmt.Sprintf("QIT row %d has non-integer Row %q or GroupID %q", i, rec[0], rec[d+1]))
+			continue
+		}
+		rows = append(rows, qitRow{idx: i, row: rowID, qi: rec[1 : d+1 : d+1], gid: gid})
+	}
+	return rows, true, skipped, nil
+}
+
+// stEntry is one parsed row of anatomy's sensitive table.
+type stEntry struct {
+	idx   int // 0-based data-row index in the ST file
+	gid   int
+	label string
+	count int
+}
+
+// parseST reads anatomy's sensitive table (GroupID, SA, Count).
+func parseST(sch *table.Schema, st io.Reader, rep *reporter) (entries []stEntry, ok bool, err error) {
+	cr := csv.NewReader(st)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, false, readFailure(err, rep, "ST has no header")
+	}
+	want := []string{"GroupID", sch.SA().Name(), "Count"}
+	if !slices.Equal(header, want) {
+		rep.add(ViolationSchema, -1, -1,
+			fmt.Sprintf("ST header %q does not match the expected anatomy layout %q", header, want))
+		return nil, false, nil
+	}
+	for i := 0; ; i++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if !isParseError(err) {
+				return entries, true, fmt.Errorf("audit: reading ST: %w", err)
+			}
+			rep.add(ViolationMalformed, -1, i, fmt.Sprintf("ST row %d is not parseable CSV: %v", i, err))
+			continue
+		}
+		if len(rec) != 3 {
+			rep.add(ViolationMalformed, -1, i,
+				fmt.Sprintf("ST row %d has %d fields, the layout needs 3", i, len(rec)))
+			continue
+		}
+		gid, err1 := strconv.Atoi(rec[0])
+		count, err2 := strconv.Atoi(rec[2])
+		if err1 != nil || err2 != nil {
+			rep.add(ViolationMalformed, -1, i,
+				fmt.Sprintf("ST row %d has non-integer GroupID %q or Count %q", i, rec[0], rec[2]))
+			continue
+		}
+		if count < 1 {
+			rep.add(ViolationMalformed, gid, i,
+				fmt.Sprintf("ST row %d publishes non-positive count %d", i, count))
+			continue
+		}
+		entries = append(entries, stEntry{idx: i, gid: gid, label: rec[1], count: count})
+	}
+	return entries, true, nil
+}
+
+// isParseError reports whether a csv.Reader error is a syntax problem in the
+// input (a content violation) rather than a real I/O failure.
+func isParseError(err error) bool {
+	var perr *csv.ParseError
+	return errors.As(err, &perr)
+}
+
+// readFailure classifies a header-read error: syntax errors in the release
+// are content violations (recorded, nil error); anything else is a real I/O
+// failure the caller must see. Row loops handle their own parse errors so
+// one corrupt record does not end the audit.
+func readFailure(err error, rep *reporter, context string) error {
+	if err == io.EOF {
+		rep.add(ViolationMalformed, -1, -1, context+": unexpected end of input")
+		return nil
+	}
+	if isParseError(err) {
+		rep.add(ViolationMalformed, -1, -1, fmt.Sprintf("%s: %v", context, err))
+		return nil
+	}
+	return fmt.Errorf("audit: reading release: %w", err)
+}

@@ -21,7 +21,9 @@ func MaxFrequency(hist map[int]int) int {
 
 // IsEligibleHistogram reports whether a multiset with the given sensitive
 // value histogram is l-eligible: at most |S|/l of the tuples share one
-// sensitive value, i.e. |S| >= l * h(S). The empty set is l-eligible.
+// sensitive value, i.e. |S| >= l * h(S), evaluated as h(S) <= |S|/l so an
+// unbounded caller-supplied l cannot overflow the product. The empty set is
+// l-eligible.
 func IsEligibleHistogram(hist map[int]int, l int) bool {
 	if l <= 1 {
 		return true
@@ -30,7 +32,7 @@ func IsEligibleHistogram(hist map[int]int, l int) bool {
 	for _, c := range hist {
 		total += c
 	}
-	return total >= l*MaxFrequency(hist)
+	return MaxFrequency(hist) <= total/l
 }
 
 // MaxFrequencyCounts is MaxFrequency for a dense count slice indexed by
@@ -62,7 +64,7 @@ func IsEligibleCounts(counts []int, l int) bool {
 			max = c
 		}
 	}
-	return total >= l*max
+	return max <= total/l
 }
 
 // IsEligibleRows reports whether the multiset formed by the given rows of t
@@ -84,7 +86,7 @@ func IsEligibleGroup(c *table.SAGroupCounter, rows []int, l int) bool {
 	if l <= 1 {
 		return true
 	}
-	return len(rows) >= l*c.MaxCount(rows)
+	return c.MaxCount(rows) <= len(rows)/l
 }
 
 // IsEligibleTable reports whether the whole table is l-eligible. By Lemma 1

@@ -2,6 +2,7 @@ package eligibility
 
 import (
 	"math"
+	"sort"
 
 	"ldiv/internal/table"
 )
@@ -15,6 +16,78 @@ import (
 // counter (table.SAGroupCounter) instead of allocating a histogram map per
 // group.
 
+// GroupFrequencyOK reports whether one group's histogram — counts[v] for the
+// distinct codes v in vals, group size n — is l-eligible (frequency-based
+// l-diversity): n >= l * max_v counts[v], evaluated in the equivalent
+// division form max <= n/l so an attacker-supplied l cannot overflow the
+// product. It is the group-level predicate behind IsLDiversePartition,
+// shared with the release auditor, which counts over release-derived
+// histograms instead of a table.
+func GroupFrequencyOK(counts []int32, vals []int32, n, l int) bool {
+	if l <= 1 {
+		return true
+	}
+	max := int32(0)
+	for _, v := range vals {
+		if counts[v] > max {
+			max = counts[v]
+		}
+	}
+	return int(max) <= n/l
+}
+
+// GroupDistinctOK reports whether a group with the given distinct sensitive
+// codes satisfies distinct l-diversity (at least l distinct values).
+func GroupDistinctOK(vals []int32, l int) bool { return len(vals) >= l }
+
+// GroupEntropyOK reports whether one group's histogram has sensitive entropy
+// at least log(l): -sum p_v log p_v >= log l with p_v = counts[v]/n.
+func GroupEntropyOK(counts []int32, vals []int32, n, l int) bool {
+	if l <= 1 {
+		return true
+	}
+	entropy := 0.0
+	for _, v := range vals {
+		p := float64(counts[v]) / float64(n)
+		entropy -= p * math.Log(p)
+	}
+	return entropy+1e-12 >= math.Log(float64(l))
+}
+
+// GroupRecursiveOK reports whether one group's histogram satisfies recursive
+// (c,l)-diversity: with the counts sorted non-increasingly r_1 >= r_2 >= ...,
+// it requires r_1 < c * (r_l + ... + r_m). Groups with fewer than l distinct
+// values fail.
+func GroupRecursiveOK(counts []int32, vals []int32, c float64, l int) bool {
+	ok, _ := groupRecursiveOK(counts, vals, c, l, nil)
+	return ok
+}
+
+// groupRecursiveOK is GroupRecursiveOK with a caller-reusable scratch buffer,
+// so partition walkers do not allocate per group. The returned slice is the
+// grown scratch to pass back in.
+func groupRecursiveOK(counts []int32, vals []int32, c float64, l int, scratch []int) (bool, []int) {
+	if l <= 1 {
+		return true, scratch
+	}
+	if len(vals) < l {
+		return false, scratch
+	}
+	// Sort ascending (the auditor feeds this release-controlled histograms,
+	// so the distinct-value count is not bounded by any real SA domain):
+	// r_1 is the last element and r_l..r_m are the first m-l+1.
+	sorted := scratch[:0]
+	for _, v := range vals {
+		sorted = append(sorted, int(counts[v]))
+	}
+	sort.Ints(sorted)
+	tail := 0
+	for i := 0; i <= len(sorted)-l; i++ {
+		tail += sorted[i]
+	}
+	return float64(sorted[len(sorted)-1]) < c*float64(tail), sorted
+}
+
 // EntropyLDiversity reports whether every group of the partition has entropy
 // at least log(l): -sum p_v log p_v >= log l, where p_v is the fraction of the
 // group's tuples with sensitive value v. Entropy l-diversity is strictly
@@ -23,19 +96,13 @@ func EntropyLDiversity(t *table.Table, groups [][]int, l int) bool {
 	if l <= 1 {
 		return true
 	}
-	threshold := math.Log(float64(l))
 	counter := t.SAGroupCounter()
 	for _, g := range groups {
 		if len(g) == 0 {
 			continue
 		}
 		counts, vals := counter.Count(g)
-		entropy := 0.0
-		for _, v := range vals {
-			p := float64(counts[v]) / float64(len(g))
-			entropy -= p * math.Log(p)
-		}
-		if entropy+1e-12 < threshold {
+		if !GroupEntropyOK(counts, vals, len(g), l) {
 			return false
 		}
 	}
@@ -52,30 +119,14 @@ func RecursiveCLDiversity(t *table.Table, groups [][]int, c float64, l int) bool
 		return true
 	}
 	counter := t.SAGroupCounter()
-	var sorted []int
+	var scratch []int
+	ok := false
 	for _, g := range groups {
 		if len(g) == 0 {
 			continue
 		}
 		counts, vals := counter.Count(g)
-		if len(vals) < l {
-			return false
-		}
-		sorted = sorted[:0]
-		for _, v := range vals {
-			sorted = append(sorted, int(counts[v]))
-		}
-		// Sort descending (insertion sort; histograms are tiny).
-		for i := 1; i < len(sorted); i++ {
-			for j := i; j > 0 && sorted[j] > sorted[j-1]; j-- {
-				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
-			}
-		}
-		tail := 0
-		for i := l - 1; i < len(sorted); i++ {
-			tail += sorted[i]
-		}
-		if float64(sorted[0]) >= c*float64(tail) {
+		if ok, scratch = groupRecursiveOK(counts, vals, c, l, scratch); !ok {
 			return false
 		}
 	}
@@ -111,7 +162,7 @@ func DistinctLDiversity(t *table.Table, groups [][]int, l int) bool {
 		if len(g) == 0 {
 			continue
 		}
-		if _, vals := counter.Count(g); len(vals) < l {
+		if _, vals := counter.Count(g); !GroupDistinctOK(vals, l) {
 			return false
 		}
 	}

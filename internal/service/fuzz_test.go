@@ -1,0 +1,86 @@
+package service
+
+import (
+	"math"
+	"net/url"
+	"testing"
+
+	"ldiv"
+)
+
+// FuzzParseParams fuzzes the job-submission parameter parser with arbitrary
+// query strings: it must never panic, every rejection must carry a typed
+// error, and every acceptance must satisfy the invariants the rest of the
+// server relies on (canonical algorithm, l >= 2, non-empty qi/sa).
+func FuzzParseParams(f *testing.F) {
+	f.Add("algo=tp%2B&l=4&qi=Age,Gender&sa=Disease")
+	f.Add("l=2&qi=A&sa=S")
+	f.Add("algorithm=anatomy&l=3&qi=A,B&sa=S&projection=A")
+	f.Add("algo=nope&l=2&qi=A&sa=S")
+	f.Add("l=-1&qi=&sa=")
+	f.Add("l=999999999999999999999&qi=A&sa=S")
+	f.Add("qi=%2C%2C%2C&sa=%00&l=2")
+	f.Fuzz(func(t *testing.T, raw string) {
+		q, err := url.ParseQuery(raw)
+		if err != nil {
+			return
+		}
+		p, apiErr := parseParams(q)
+		if apiErr != nil {
+			if apiErr.Code == "" || apiErr.Message == "" {
+				t.Fatalf("rejection without a typed error: %+v", apiErr)
+			}
+			return
+		}
+		if canon, ok := ldiv.CanonicalAlgorithm(p.Algorithm); !ok || canon != p.Algorithm {
+			t.Fatalf("accepted non-canonical algorithm %q", p.Algorithm)
+		}
+		if p.L < 2 {
+			t.Fatalf("accepted l=%d", p.L)
+		}
+		if len(p.QI) == 0 || p.SA == "" {
+			t.Fatalf("accepted empty qi/sa: %+v", p)
+		}
+		for _, col := range p.QI {
+			if col == "" {
+				t.Fatalf("accepted a blank QI column: %+v", p.QI)
+			}
+		}
+	})
+}
+
+// FuzzParseVerifyParams is the same contract for the verify endpoint's
+// parameter parser.
+func FuzzParseVerifyParams(f *testing.F) {
+	f.Add("l=2&qi=Age,Gender&sa=Disease")
+	f.Add("l=4&qi=A&sa=S&entropy=1&c=3.5")
+	f.Add("l=x&qi=A&sa=S")
+	f.Add("l=2&qi=A&sa=S&c=-1")
+	f.Add("l=2&qi=A&sa=S&c=NaN")
+	f.Add("l=2&qi=A&sa=S&c=+Inf")
+	f.Add("l=2&qi=A&sa=S&entropy=maybe")
+	f.Fuzz(func(t *testing.T, raw string) {
+		q, err := url.ParseQuery(raw)
+		if err != nil {
+			return
+		}
+		p, apiErr := parseVerifyParams(q)
+		if apiErr != nil {
+			if apiErr.Code == "" || apiErr.Message == "" {
+				t.Fatalf("rejection without a typed error: %+v", apiErr)
+			}
+			return
+		}
+		if p.Opts.L < 2 {
+			t.Fatalf("accepted l=%d", p.Opts.L)
+		}
+		// The accepted c must be usable in comparisons: zero (disabled) or a
+		// positive finite number — NaN and +Inf corrupt the recursive check.
+		if c := p.Opts.RecursiveC; c != 0 && (!(c > 0) || math.IsInf(c, 1)) {
+			t.Fatalf("accepted unusable c=%g", c)
+		}
+		if len(p.QI) == 0 || p.SA == "" {
+			t.Fatalf("accepted empty qi/sa: %+v", p)
+		}
+	})
+}

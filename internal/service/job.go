@@ -3,11 +3,8 @@ package service
 import (
 	"bytes"
 	"crypto/sha256"
-	"encoding/csv"
 	"encoding/hex"
 	"fmt"
-	"io"
-	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -183,50 +180,22 @@ func (j *Job) view() jobView {
 	return v
 }
 
-// anatomyQITCSV renders anatomy's quasi-identifier table: the exact QI labels
-// of every row plus its bucket identifier.
+// anatomyQITCSV renders anatomy's quasi-identifier table in the canonical
+// release layout (internal/anatomy owns the format; the auditor parses it).
 func anatomyQITCSV(t *ldiv.Table, an *ldiv.Anatomy) ([]byte, error) {
 	var b bytes.Buffer
-	header := append([]string{"Row"}, t.Schema().QINames()...)
-	header = append(header, "GroupID")
-	rows := an.QIT(t)
-	if err := writeCSVRows(&b, header, len(rows), func(i int) []string {
-		rec := make([]string, 0, len(header))
-		rec = append(rec, fmt.Sprint(rows[i].Row))
-		rec = append(rec, rows[i].QI...)
-		return append(rec, fmt.Sprint(rows[i].GroupID))
-	}); err != nil {
+	if err := ldiv.WriteAnatomyQITCSV(&b, t, an); err != nil {
 		return nil, err
 	}
 	return b.Bytes(), nil
 }
 
-// anatomySTCSV renders anatomy's sensitive table: per bucket, the sensitive
-// labels with their multiplicities, sorted by (GroupID, label order).
+// anatomySTCSV renders anatomy's sensitive table in the canonical release
+// layout.
 func anatomySTCSV(t *ldiv.Table, an *ldiv.Anatomy) ([]byte, error) {
 	var b bytes.Buffer
-	rows := an.ST(t)
-	sort.SliceStable(rows, func(i, j int) bool { return rows[i].GroupID < rows[j].GroupID })
-	header := []string{"GroupID", t.Schema().SA().Name(), "Count"}
-	if err := writeCSVRows(&b, header, len(rows), func(i int) []string {
-		return []string{fmt.Sprint(rows[i].GroupID), rows[i].SALabel, fmt.Sprint(rows[i].Count)}
-	}); err != nil {
+	if err := ldiv.WriteAnatomySTCSV(&b, t, an); err != nil {
 		return nil, err
 	}
 	return b.Bytes(), nil
-}
-
-// writeCSVRows writes a header and n records produced by rec as CSV.
-func writeCSVRows(w io.Writer, header []string, n int, rec func(i int) []string) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(header); err != nil {
-		return err
-	}
-	for i := 0; i < n; i++ {
-		if err := cw.Write(rec(i)); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
 }

@@ -23,6 +23,8 @@ type serverMetrics struct {
 	rowsAnonymized atomic.Int64
 	cacheHits      atomic.Int64
 	cacheMisses    atomic.Int64
+	verifies       atomic.Int64 // completed release verifications
+	verifyFailures atomic.Int64 // verifications whose verdict was not ok
 
 	mu        sync.Mutex
 	latencies map[string]*histogram // algorithm -> job latency histogram
@@ -78,6 +80,8 @@ func (m *serverMetrics) writeTo(w io.Writer) error {
 		{"ldivd_rows_anonymized_total", "Input tuples across successfully finished jobs.", "counter", m.rowsAnonymized.Load()},
 		{"ldivd_cache_hits_total", "Submissions served from the result cache.", "counter", m.cacheHits.Load()},
 		{"ldivd_cache_misses_total", "Submissions that had to compute a fresh result.", "counter", m.cacheMisses.Load()},
+		{"ldivd_verifies_total", "Release verifications completed.", "counter", m.verifies.Load()},
+		{"ldivd_verify_failures_total", "Release verifications whose verdict was not ok.", "counter", m.verifyFailures.Load()},
 	}
 	for _, c := range counters {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", c.name, c.help, c.name, c.kind, c.name, c.value); err != nil {

@@ -8,6 +8,8 @@
 //	POST /v1/jobs?algo=tp%2B&l=4&qi=Age,Gender&sa=Disease   body: CSV
 //	GET  /v1/jobs/{id}            job status and information-loss metrics
 //	GET  /v1/jobs/{id}/result     released table as CSV (anatomy: ?part=st)
+//	POST /v1/verify?l=4&qi=...&sa=...   multipart original+release(+st) →
+//	                              canonical auditor verdict JSON
 //	GET  /healthz                 liveness
 //	GET  /metrics                 Prometheus text-format counters
 //
@@ -116,6 +118,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux

@@ -32,6 +32,7 @@ import (
 
 	"ldiv/internal/anatomy"
 	"ldiv/internal/attack"
+	"ldiv/internal/audit"
 	"ldiv/internal/core"
 	"ldiv/internal/dataset"
 	"ldiv/internal/eligibility"
@@ -321,6 +322,56 @@ func AuditPartition(t *Table, p *Partition) (*AttackReport, error) {
 // Anatomize publishes t with the anatomy methodology (exact QI values, a
 // separate sensitive table, l-diverse buckets).
 func Anatomize(t *Table, l int) (*Anatomy, error) { return anatomy.Anonymize(t, l) }
+
+// WriteAnatomyQITCSV writes an anatomy publication's quasi-identifier table
+// as CSV (header Row,<QI names...>,GroupID), the canonical release layout the
+// ldivd server serves and VerifyAnatomyRelease parses back.
+func WriteAnatomyQITCSV(w io.Writer, t *Table, a *Anatomy) error {
+	return anatomy.WriteQITCSV(w, t, a)
+}
+
+// WriteAnatomySTCSV writes an anatomy publication's sensitive table as CSV
+// (header GroupID,<SA name>,Count), the second half of the two-table release.
+func WriteAnatomySTCSV(w io.Writer, t *Table, a *Anatomy) error {
+	return anatomy.WriteSTCSV(w, t, a)
+}
+
+// Release-auditor types, re-exported from internal/audit. The auditor is the
+// independent verifier of the system: it takes a published release plus the
+// original microdata and proves — or refutes — that the release satisfies
+// l-diversity and is consistent with the source, without trusting the
+// producer's in-process partition.
+type (
+	// ReleaseReport is the auditor's verdict; its JSON encoding is the
+	// canonical machine-readable form shared by VerifyRelease, cmd/ldivaudit
+	// and the server's POST /v1/verify.
+	ReleaseReport = audit.Report
+	// ReleaseViolation is one typed verification failure.
+	ReleaseViolation = audit.Violation
+	// VerifyOptions tunes a release verification (L is required; entropy and
+	// recursive (c,l)-diversity checks are opt-in).
+	VerifyOptions = audit.Options
+)
+
+// VerifyRelease audits a single-table generalized release (as produced by
+// tp, tp+, hilbert, tds, mondrian or incognito and written with
+// WriteGeneralizedCSV) against the original microdata: it re-derives the
+// equivalence groups from the release's published QI signatures, checks
+// frequency-based l-diversity (plus any opt-in principle) on them, and checks
+// fidelity — row counts reconcile, every generalized cell covers the original
+// value it replaces, and each group's sensitive multiset matches the original
+// rows it covers. Content problems are typed violations in the report; the
+// error is reserved for reader failures and invalid options.
+func VerifyRelease(t *Table, release io.Reader, opts VerifyOptions) (*ReleaseReport, error) {
+	return audit.VerifyGeneralized(t, release, opts)
+}
+
+// VerifyAnatomyRelease audits anatomy's two-table release (the QIT and ST
+// CSVs written by WriteAnatomyQITCSV/WriteAnatomySTCSV) against the original
+// microdata, joining groups on the published GroupID.
+func VerifyAnatomyRelease(t *Table, qit, st io.Reader, opts VerifyOptions) (*ReleaseReport, error) {
+	return audit.VerifyAnatomy(t, qit, st, opts)
+}
 
 // RandomWorkload generates a random range-count query workload against t.
 func RandomWorkload(t *Table, queries, dims int, selectivity float64, seed int64) (*Workload, error) {

@@ -315,3 +315,65 @@ func TestPublicAPIPrecoarsenedGroups(t *testing.T) {
 		t.Errorf("coarser groups should not suppress more tuples than exact grouping: %d", res.SuppressedTuples())
 	}
 }
+
+func TestPublicAPIVerifyRelease(t *testing.T) {
+	tbl := buildHospital(t)
+
+	// Every generalization algorithm's release must pass the auditor through
+	// the public API, end to end over CSV bytes.
+	for _, algo := range []string{"tp", "tp+", "hilbert", "tds", "mondrian", "incognito"} {
+		gen, _, err := ldiv.AnonymizeWith(tbl, 2, algo)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		var b bytes.Buffer
+		if err := ldiv.WriteGeneralizedCSV(&b, gen); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := ldiv.VerifyRelease(tbl, bytes.NewReader(b.Bytes()), ldiv.VerifyOptions{L: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK {
+			t.Fatalf("%s: release failed its audit: %+v", algo, rep.Violations)
+		}
+	}
+
+	// Anatomy's two-table release through the dedicated entry point.
+	an, err := ldiv.Anatomize(tbl, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qit, st bytes.Buffer
+	if err := ldiv.WriteAnatomyQITCSV(&qit, tbl, an); err != nil {
+		t.Fatal(err)
+	}
+	if err := ldiv.WriteAnatomySTCSV(&st, tbl, an); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ldiv.VerifyAnatomyRelease(tbl, bytes.NewReader(qit.Bytes()), bytes.NewReader(st.Bytes()), ldiv.VerifyOptions{L: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("anatomy release failed its audit: %+v", rep.Violations)
+	}
+
+	// A corrupted release must be refuted with a typed violation.
+	gen, _, err := ldiv.AnonymizeWith(tbl, 2, "tp+")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := ldiv.WriteGeneralizedCSV(&b, gen); err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(b.String(), "HIV", "dyspepsia", 1)
+	rep, err = ldiv.VerifyRelease(tbl, strings.NewReader(tampered), ldiv.VerifyOptions{L: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK || rep.Fidelity {
+		t.Fatalf("tampered release passed: %+v", rep)
+	}
+}

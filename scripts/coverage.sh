@@ -1,0 +1,37 @@
+#!/bin/sh
+# coverage.sh is the CI coverage gate: it runs the internal/... test suites
+# with a merged coverage profile, prints the per-package coverage table (the
+# numbers EXPERIMENTS.md records), and fails if the total statement coverage
+# drops below the threshold (default 85%, override with COVER_THRESHOLD).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+threshold="${COVER_THRESHOLD:-85}"
+profile="${COVER_PROFILE:-coverage.out}"
+
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+# Run the suites to a file first so go test's own exit status gates the run —
+# a red suite must fail here, not be masked by the formatting pipeline.
+if ! go test -count=1 -coverprofile "$profile" ./internal/... >"$out" 2>&1; then
+    cat "$out" >&2
+    echo "coverage: FAIL — the test suite itself failed" >&2
+    exit 1
+fi
+
+echo "coverage: per-package statement coverage (internal/...)"
+awk '
+    /coverage:/ { printf "  %-28s %s\n", $2, $5 }
+    /\[no test files\]/ { printf "  %-28s (no tests)\n", $2 }
+' "$out"
+
+total="$(go tool cover -func="$profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')"
+echo "coverage: total ${total}% (gate: ${threshold}%)"
+
+if awk -v t="$total" -v th="$threshold" 'BEGIN { exit !(t + 0 < th + 0) }'; then
+    echo "coverage: FAIL — total ${total}% is below the ${threshold}% gate" >&2
+    exit 1
+fi
+echo "coverage: OK"

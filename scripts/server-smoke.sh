@@ -92,9 +92,40 @@ if [ "$ROWS" -ne 9 ]; then
     exit 1
 fi
 
+echo "smoke: verifying the release the server handed out"
+printf '%s' "$RESULT" >"$TMP/release.csv"
+VERDICT="$(curl -fsS -X POST \
+    -F "original=@$TMP/smoke.csv" -F "release=@$TMP/release.csv" \
+    "$BASE/v1/verify?l=2&qi=Age,Gender&sa=Disease")"
+case "$VERDICT" in
+*'"ok":true'*) : ;;
+*)
+    echo "smoke: the served release failed its own audit: $VERDICT" >&2
+    exit 1
+    ;;
+esac
+
+echo "smoke: verifying a tampered release is rejected"
+sed 's/flu/angina/' "$TMP/release.csv" >"$TMP/tampered.csv"
+VERDICT="$(curl -fsS -X POST \
+    -F "original=@$TMP/smoke.csv" -F "release=@$TMP/tampered.csv" \
+    "$BASE/v1/verify?l=2&qi=Age,Gender&sa=Disease")"
+case "$VERDICT" in
+*'"ok":false'*) : ;;
+*)
+    echo "smoke: a tampered release passed verification: $VERDICT" >&2
+    exit 1
+    ;;
+esac
+
 echo "smoke: checking /metrics"
-curl -fsS "$BASE/metrics" | grep -q '^ldivd_jobs_done_total 1$' || {
+METRICS="$(curl -fsS "$BASE/metrics")"
+printf '%s\n' "$METRICS" | grep -q '^ldivd_jobs_done_total 1$' || {
     echo "smoke: metrics do not report the finished job" >&2
+    exit 1
+}
+printf '%s\n' "$METRICS" | grep -q '^ldivd_verifies_total 2$' || {
+    echo "smoke: metrics do not report the verifications" >&2
     exit 1
 }
 
