@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestDocListsEveryAnalyzer(t *testing.T) {
+	out, _, code := runCLI(t, "-doc")
+	if code != 0 {
+		t.Fatalf("-doc exited %d", code)
+	}
+	for _, name := range []string{"detrange", "viewsafety", "narrowconv", "poolcheck", "directive"} {
+		if !strings.Contains(out, name+":") {
+			t.Errorf("-doc output missing analyzer %q", name)
+		}
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	out, stderr, code := runCLI(t, "ldiv/internal/sat")
+	if code != 0 {
+		t.Fatalf("clean package exited %d\nstdout: %s\nstderr: %s", code, out, stderr)
+	}
+	if out != "" {
+		t.Errorf("clean package produced output: %s", out)
+	}
+}
+
+func TestViolationExitsThree(t *testing.T) {
+	out, stderr, code := runCLI(t, "./testdata/bad")
+	if code != 3 {
+		t.Fatalf("violating package exited %d, want 3\nstdout: %s\nstderr: %s", code, out, stderr)
+	}
+	if !strings.Contains(out, "result of TrySubmit is dropped") || !strings.Contains(out, "(poolcheck)") {
+		t.Errorf("missing poolcheck diagnostic in output: %s", out)
+	}
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	if _, _, code := runCLI(t, "-nonsense"); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}
+
+func TestBadPatternExitsOne(t *testing.T) {
+	if _, _, code := runCLI(t, "./does-not-exist"); code != 1 {
+		t.Fatalf("bad pattern exited %d, want 1", code)
+	}
+}

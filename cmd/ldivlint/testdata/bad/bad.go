@@ -1,0 +1,10 @@
+// Package bad exists to be linted: the CLI test points ldivlint at it and
+// asserts the multichecker exit status 3 and the poolcheck diagnostic.
+package bad
+
+import "ldiv/internal/parallel"
+
+// DropVerdict drops TrySubmit's backpressure verdict.
+func DropVerdict(q *parallel.Queue, fn func()) {
+	q.TrySubmit(fn)
+}

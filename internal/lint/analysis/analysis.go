@@ -1,0 +1,62 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis surface that ldivlint's analyzers program
+// against. The build environment for this repository is hermetic (no module
+// proxy), so vendoring x/tools is not an option; instead the analyzers are
+// written against this API-compatible subset, and migrating them onto the
+// real x/tools framework later is a matter of changing one import path.
+//
+// Only the pieces the suite uses exist: Analyzer, Pass, Diagnostic, and
+// Pass.Reportf. There is no Fact machinery and no Requires graph — every
+// ldivlint analyzer is a self-contained, intra-package syntactic/type check.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one named analysis pass and the invariant it
+// enforces. Name is what diagnostics are attributed to and what a
+// //lint:ignore directive must reference to suppress them.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	// It must be a valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: one summary line, a blank
+	// line, then the full description of the invariant it encodes.
+	Doc string
+
+	// Run applies the analyzer to a single package and reports
+	// diagnostics through pass.Report. The returned value is unused by
+	// this driver (the real framework threads it to dependent analyzers)
+	// but kept in the signature for x/tools compatibility.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides one analyzer with the parsed, type-checked package under
+// analysis and a sink for its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	End     token.Pos // optional: token.NoPos means unknown
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at the given position.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,266 @@
+// Package analysistest is the golden-test harness for ldivlint's analyzers,
+// mirroring golang.org/x/tools/go/analysis/analysistest: test packages live
+// under testdata/src/<import-path>/ and annotate the lines where diagnostics
+// are expected with
+//
+//	// want `regexp` [`regexp` ...]
+//
+// comments. Run loads a testdata package (resolving ldiv/... imports from
+// stub packages in the same tree and standard-library imports from the real
+// toolchain's export data), runs one analyzer over it, applies the same
+// //lint:ignore suppression filter as the cmd/ldivlint driver — so
+// suppressed golden cases exercise exactly what `make lint` runs — and
+// fails the test on any mismatch between reported and expected diagnostics.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"ldiv/internal/lint"
+	"ldiv/internal/lint/analysis"
+	"ldiv/internal/lint/packages"
+)
+
+// Run checks the analyzer against every named testdata package.
+func Run(t *testing.T, testdataDir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	ld := newLoader(t, testdataDir)
+	for _, path := range pkgPaths {
+		t.Run(strings.ReplaceAll(path, "/", "_"), func(t *testing.T) {
+			t.Helper()
+			pkg, err := ld.load(path)
+			if err != nil {
+				t.Fatalf("loading %s: %v", path, err)
+			}
+			diags := runAnalyzer(t, a, pkg)
+			checkExpectations(t, a, pkg, diags)
+		})
+	}
+}
+
+func runAnalyzer(t *testing.T, a *analysis.Analyzer, pkg *loadedPkg) []analysis.Diagnostic {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.fset,
+		Files:     pkg.files,
+		Pkg:       pkg.types,
+		TypesInfo: pkg.info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s failed: %v", a.Name, err)
+	}
+	return lint.Suppress(pkg.fset, pkg.files, a.Name, diags)
+}
+
+// --- expectations ------------------------------------------------------------
+
+// wantRE extracts the backquoted patterns of a // want comment.
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// checkExpectations compares diagnostics against // want annotations,
+// grouped by (file, line).
+func checkExpectations(t *testing.T, a *analysis.Analyzer, pkg *loadedPkg, diags []analysis.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*expectation)
+	for _, f := range pkg.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// A want annotation is either the whole comment ("// want
+				// `re`") or embedded after a directive ("//lint:ignore x
+				// // want `re`"); Index finds both.
+				idx := strings.Index(c.Text, "// want")
+				if idx < 0 {
+					continue
+				}
+				rest := c.Text[idx+len("// want"):]
+				pos := pkg.fset.Position(c.Pos())
+				k := key{file: pos.Filename, line: pos.Line}
+				for _, m := range wantRE.FindAllStringSubmatch(rest, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad // want pattern %q: %v", pos, m[1], err)
+					}
+					wants[k] = append(wants[k], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := pkg.fset.Position(d.Pos)
+		k := key{file: pos.Filename, line: pos.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	var keys []key
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, w.re)
+			}
+		}
+	}
+}
+
+// --- testdata loader ---------------------------------------------------------
+
+type loadedPkg struct {
+	fset  *token.FileSet
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+// loader type-checks testdata packages. Imports under the testdata src root
+// are loaded from source (recursively, through the same loader, so stub
+// packages get the real import paths the analyzers match on); everything
+// else is treated as standard library and resolved from compiled export
+// data via `go list -export`.
+type loader struct {
+	t       *testing.T
+	srcRoot string
+	fset    *token.FileSet
+	pkgs    map[string]*loadedPkg
+	loading map[string]bool
+	exports map[string]string
+	gc      types.Importer
+}
+
+func newLoader(t *testing.T, testdataDir string) *loader {
+	ld := &loader{
+		t:       t,
+		srcRoot: filepath.Join(testdataDir, "src"),
+		fset:    token.NewFileSet(),
+		pkgs:    make(map[string]*loadedPkg),
+		loading: make(map[string]bool),
+		exports: make(map[string]string),
+	}
+	ld.gc = importer.ForCompiler(ld.fset, "gc", ld.lookupExport)
+	return ld
+}
+
+// Import implements types.Importer over the mixed source/export world.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(ld.srcRoot, filepath.FromSlash(path)); isDir(dir) {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.types, nil
+	}
+	return ld.gc.Import(path)
+}
+
+// lookupExport resolves a standard-library import path to its export-data
+// file, shelling out to `go list -deps -export` once per new closure and
+// caching the result.
+func (ld *loader) lookupExport(path string) (io.ReadCloser, error) {
+	if f, ok := ld.exports[path]; ok {
+		return os.Open(f)
+	}
+	exp, err := packages.Exports(".", path)
+	if err != nil {
+		return nil, err
+	}
+	for p, f := range exp {
+		ld.exports[p] = f
+	}
+	f, ok := ld.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+// load parses and type-checks the testdata package at the given import path.
+func (ld *loader) load(path string) (*loadedPkg, error) {
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	dir := filepath.Join(ld.srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := packages.NewInfo()
+	conf := types.Config{
+		Importer: ld,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	pkg := &loadedPkg{fset: ld.fset, files: files, types: tpkg, info: info}
+	ld.pkgs[path] = pkg
+	return pkg, nil
+}
+
+func isDir(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}

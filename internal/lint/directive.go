@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"ldiv/internal/lint/analysis"
+)
+
+// Directive validates the suppression mechanism itself, so //lint:ignore
+// stays an auditable record rather than a silencer: every directive must
+// name at least one analyzer that actually exists and must state a reason.
+// Directive diagnostics can never be suppressed.
+var Directive = &analysis.Analyzer{
+	Name: "directive",
+	Doc: `directive: require every //lint:ignore to name a real analyzer and give a reason
+
+The suppression syntax is
+
+	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+
+on the offending line or the line directly above it. This analyzer flags
+directives with no analyzer list, with an analyzer name that is not part of
+the suite (a typo there would silently suppress nothing), or with no reason
+(the written justification is the point of the mechanism). Malformed
+directives also suppress nothing.`,
+	Run: runDirective,
+}
+
+// knownAnalyzers mirrors Analyzers(); a literal set breaks the
+// initialization cycle (Directive -> Analyzers -> Directive). A test pins it
+// against the registry.
+var knownAnalyzers = map[string]bool{
+	"detrange":   true,
+	"viewsafety": true,
+	"narrowconv": true,
+	"poolcheck":  true,
+	"directive":  true,
+}
+
+func runDirective(pass *analysis.Pass) (any, error) {
+	known := knownAnalyzers
+	for _, d := range directivesIn(pass.Fset, pass.Files) {
+		switch {
+		case len(d.Analyzers) == 0:
+			pass.Reportf(d.Pos,
+				"malformed //lint:ignore: want //lint:ignore <analyzer> <reason>, with both parts present")
+		case d.Reason == "":
+			pass.Reportf(d.Pos,
+				"//lint:ignore without a reason: state why the invariant is safe to bend here (//lint:ignore %s <reason>)", d.Analyzers[0])
+		default:
+			for _, name := range d.Analyzers {
+				if !known[name] {
+					pass.Reportf(d.Pos,
+						"//lint:ignore names unknown analyzer %q (known: detrange, viewsafety, narrowconv, poolcheck, directive); the directive suppresses nothing", name)
+				}
+			}
+		}
+	}
+	return nil, nil
+}

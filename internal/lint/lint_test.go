@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"ldiv/internal/lint/analysis"
+)
+
+// TestKnownAnalyzersMatchesRegistry pins the directive analyzer's literal
+// name set (needed to break an init cycle) to the actual suite.
+func TestKnownAnalyzersMatchesRegistry(t *testing.T) {
+	suite := Analyzers()
+	if len(suite) != len(knownAnalyzers) {
+		t.Fatalf("suite has %d analyzers, knownAnalyzers has %d", len(suite), len(knownAnalyzers))
+	}
+	for _, a := range suite {
+		if !knownAnalyzers[a.Name] {
+			t.Errorf("analyzer %q missing from knownAnalyzers", a.Name)
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no documentation", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run", a.Name)
+		}
+	}
+}
+
+func parseFile(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+// TestDirectiveParsing covers the //lint:ignore grammar: analyzer lists,
+// reasons, embedded trailing comments, and malformed shapes.
+func TestDirectiveParsing(t *testing.T) {
+	fset, f := parseFile(t, `package p
+
+func a() {
+	//lint:ignore detrange keys are sorted downstream
+	_ = 1
+	//lint:ignore detrange,narrowconv both safe: bounded and re-sorted
+	_ = 2
+	//lint:ignore viewsafety reason then a remark // not part of the reason
+	_ = 3
+	//lint:ignore poolcheck
+	_ = 4
+	//lint:ignore
+	_ = 5
+}
+`)
+	dirs := directivesIn(fset, []*ast.File{f})
+	want := []struct {
+		analyzers []string
+		reason    string
+	}{
+		{[]string{"detrange"}, "keys are sorted downstream"},
+		{[]string{"detrange", "narrowconv"}, "both safe: bounded and re-sorted"},
+		{[]string{"viewsafety"}, "reason then a remark"},
+		{[]string{"poolcheck"}, ""},
+		{nil, ""},
+	}
+	if len(dirs) != len(want) {
+		t.Fatalf("got %d directives, want %d", len(dirs), len(want))
+	}
+	for i, w := range want {
+		d := dirs[i]
+		if len(d.Analyzers) != len(w.analyzers) {
+			t.Errorf("directive %d: analyzers %v, want %v", i, d.Analyzers, w.analyzers)
+			continue
+		}
+		for j := range w.analyzers {
+			if d.Analyzers[j] != w.analyzers[j] {
+				t.Errorf("directive %d: analyzers %v, want %v", i, d.Analyzers, w.analyzers)
+			}
+		}
+		if d.Reason != w.reason {
+			t.Errorf("directive %d: reason %q, want %q", i, d.Reason, w.reason)
+		}
+	}
+}
+
+// TestSuppressLineCoverage verifies a directive covers its own line and the
+// next, that a missing reason suppresses nothing, and that directive
+// diagnostics are unsuppressible.
+func TestSuppressLineCoverage(t *testing.T) {
+	fset, f := parseFile(t, `package p
+
+func a() {
+	//lint:ignore detrange justified
+	_ = 1
+	_ = 2
+	//lint:ignore detrange
+	_ = 3
+}
+`)
+	files := []*ast.File{f}
+	at := func(line int) analysis.Diagnostic {
+		return analysis.Diagnostic{Pos: fset.File(f.Pos()).LineStart(line), Message: "m"}
+	}
+
+	// Line 5 is covered by the well-formed directive on line 4; line 6 is
+	// not; line 8 sits under a reasonless directive, which must not count.
+	kept := Suppress(fset, files, "detrange", []analysis.Diagnostic{at(5), at(6), at(8)})
+	if len(kept) != 2 {
+		t.Fatalf("kept %d diagnostics, want 2 (lines 6 and 8)", len(kept))
+	}
+
+	// A different analyzer's diagnostics pass through.
+	kept = Suppress(fset, files, "narrowconv", []analysis.Diagnostic{at(5)})
+	if len(kept) != 1 {
+		t.Fatalf("narrowconv diagnostic on line 5 was suppressed by a detrange directive")
+	}
+
+	// Directive diagnostics can never be suppressed, even by a directive
+	// naming the directive analyzer.
+	kept = Suppress(fset, files, "directive", []analysis.Diagnostic{at(4)})
+	if len(kept) != 1 {
+		t.Fatalf("directive diagnostic was suppressed")
+	}
+}

@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ldiv/internal/lint/analysis"
+)
+
+// Poolcheck enforces the parallel.Queue contract: TrySubmit's verdict is the
+// backpressure signal and must be consumed, and a queue created and owned by
+// one function must be Closed there or handed off, or its workers leak and
+// accepted tasks may never drain.
+var Poolcheck = &analysis.Analyzer{
+	Name: "poolcheck",
+	Doc: `poolcheck: forbid dropped TrySubmit results and unclosed parallel.Queues
+
+parallel.Queue.TrySubmit reports whether the task was accepted; false is the
+backpressure verdict the caller must turn into a 429/retry/shed decision.
+This analyzer flags:
+
+  - TrySubmit called as a statement, under go/defer, or with its result
+    assigned only to blank identifiers — the acceptance verdict is dropped,
+    so a full backlog silently loses work;
+  - parallel.NewQueue assigned to a variable that neither has Close called
+    on it in the same function nor escapes it (returned, stored in a struct
+    or composite literal, passed to another function): such a queue can
+    never drain and its workers leak.
+
+Queues that escape transfer the Close obligation to their new owner; cases
+the analyzer cannot follow can be suppressed with //lint:ignore poolcheck
+<reason>.`,
+	Run: runPoolcheck,
+}
+
+func runPoolcheck(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		funcBodies(file, func(_ string, body *ast.BlockStmt) {
+			checkTrySubmit(pass, body)
+			checkQueueClose(pass, body)
+		})
+	}
+	return nil, nil
+}
+
+// queueMethodCall resolves call as a method call on parallel.Queue.
+func queueMethodCall(info *types.Info, call *ast.CallExpr) (recv ast.Expr, name string, ok bool) {
+	recv, name, ok = methodCall(info, call)
+	if !ok {
+		return nil, "", false
+	}
+	tv, found := info.Types[recv]
+	if !found || !isQueueType(tv.Type) {
+		return nil, "", false
+	}
+	return recv, name, true
+}
+
+func checkTrySubmit(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	report := func(call *ast.CallExpr) {
+		pass.Reportf(call.Pos(),
+			"result of TrySubmit is dropped: false is the backpressure verdict (backlog full or queue closed) and the task will silently not run — handle it, or suppress with //lint:ignore poolcheck <reason>")
+	}
+	isTrySubmit := func(e ast.Expr) (*ast.CallExpr, bool) {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return nil, false
+		}
+		_, name, ok := queueMethodCall(info, call)
+		return call, ok && name == "TrySubmit"
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := isTrySubmit(n.X); ok {
+				report(call)
+			}
+		case *ast.GoStmt:
+			if call, ok := isTrySubmit(n.Call); ok {
+				report(call)
+			}
+		case *ast.DeferStmt:
+			if call, ok := isTrySubmit(n.Call); ok {
+				report(call)
+			}
+		case *ast.AssignStmt:
+			// ok := q.TrySubmit(f) keeps the verdict; _ = q.TrySubmit(f)
+			// drops it.
+			if len(n.Rhs) != len(n.Lhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				call, ok := isTrySubmit(rhs)
+				if !ok {
+					continue
+				}
+				if id, isID := ast.Unparen(n.Lhs[i]).(*ast.Ident); isID && id.Name == "_" {
+					report(call)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkQueueClose(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	type queueVar struct {
+		obj    types.Object
+		pos    *ast.CallExpr
+		closed bool
+		escape bool
+	}
+	var queues []*queueVar
+	find := func(obj types.Object) *queueVar {
+		for _, q := range queues {
+			if q.obj == obj {
+				return q
+			}
+		}
+		return nil
+	}
+
+	// Pass 1: local variables assigned straight from parallel.NewQueue.
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range asg.Lhs {
+			rhs := rhsFor(asg, i)
+			if rhs == nil {
+				continue
+			}
+			call, isCall := ast.Unparen(rhs).(*ast.CallExpr)
+			if !isCall {
+				continue
+			}
+			pkgPath, name, isFn := pkgFunc(info, call)
+			if !isFn || name != "NewQueue" || !isParallelPkg(pkgPath) {
+				continue
+			}
+			if id, isID := ast.Unparen(lhs).(*ast.Ident); isID && id.Name != "_" {
+				if obj := info.ObjectOf(id); obj != nil {
+					queues = append(queues, &queueVar{obj: obj, pos: call})
+				}
+			}
+		}
+		return true
+	})
+	if len(queues) == 0 {
+		return
+	}
+
+	// Pass 2: for each queue variable, find Close calls and escapes.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if recv, name, ok := queueMethodCall(info, n); ok && name == "Close" {
+				if q := find(rootIdentObj(info, recv)); q != nil {
+					q.closed = true
+				}
+				return true
+			}
+			// The queue passed as an argument to any other call escapes.
+			for _, arg := range n.Args {
+				if q := find(identObj(info, arg)); q != nil {
+					q.escape = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if q := find(identObj(info, r)); q != nil {
+					q.escape = true
+				}
+			}
+		case *ast.KeyValueExpr:
+			if q := find(identObj(info, n.Value)); q != nil {
+				q.escape = true
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if q := find(identObj(info, el)); q != nil {
+					q.escape = true
+				}
+			}
+		case *ast.AssignStmt:
+			// Assigning the queue anywhere but a plain local (s.queue = q,
+			// m[k] = q, *p = q) hands ownership off.
+			for i, lhs := range n.Lhs {
+				rhs := rhsFor(n, i)
+				if rhs == nil {
+					continue
+				}
+				q := find(identObj(info, rhs))
+				if q == nil {
+					continue
+				}
+				if _, isID := ast.Unparen(lhs).(*ast.Ident); !isID {
+					q.escape = true
+				}
+			}
+		case *ast.UnaryExpr:
+			// &q: address taken, too aliased to track.
+			if q := find(identObj(info, n.X)); q != nil {
+				q.escape = true
+			}
+		}
+		return true
+	})
+
+	for _, q := range queues {
+		if !q.closed && !q.escape {
+			pass.Reportf(q.pos.Pos(),
+				"parallel.NewQueue result is never Closed and never leaves this function: its workers leak and accepted tasks may not drain — defer q.Close(), hand the queue off, or suppress with //lint:ignore poolcheck <reason>")
+		}
+	}
+}
+
+// identObj returns the object of e when e is a bare identifier.
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return info.ObjectOf(id)
+	}
+	return nil
+}
+
+// isParallelPkg matches the worker-pool package by path suffix (covering
+// analysistest stubs at the same path).
+func isParallelPkg(path string) bool {
+	return pkgTail(path) == "parallel"
+}

@@ -1,0 +1,36 @@
+// Package directive is golden testdata for the directive analyzer: every
+// //lint:ignore must name a real analyzer and state its reason.
+package directive
+
+import "time"
+
+// noReason: the justification is mandatory; without it the directive is a
+// diagnostic and suppresses nothing.
+func noReason() int64 {
+	//lint:ignore detrange // want `//lint:ignore without a reason`
+	return time.Now().Unix()
+}
+
+// noAnalyzer: an empty directive is malformed.
+func noAnalyzer() int64 {
+	//lint:ignore // want `malformed //lint:ignore`
+	return time.Now().Unix()
+}
+
+// unknownAnalyzer: a typo would otherwise silently suppress nothing.
+func unknownAnalyzer() int64 {
+	//lint:ignore detrage wall clock is fine here // want `names unknown analyzer "detrage"`
+	return time.Now().Unix()
+}
+
+// wellFormed: analyzer plus reason is the valid shape.
+func wellFormed() int64 {
+	//lint:ignore detrange this package is outside the deterministic set anyway
+	return time.Now().Unix()
+}
+
+// multiAnalyzer: a comma-separated list covers several analyzers at once.
+func multiAnalyzer() int64 {
+	//lint:ignore detrange,narrowconv timestamps here never reach a release
+	return time.Now().Unix()
+}

@@ -1,0 +1,50 @@
+// Package audit is narrowconv golden testdata: it sits at a count-carrying
+// import path, so unguarded narrowing conversions are flagged.
+package audit
+
+// narrowCount: the PR 5 bug class — a published count narrowed raw.
+func narrowCount(count int) int32 {
+	return int32(count) // want `unguarded narrowing conversion int32\(count\)`
+}
+
+// narrowSum: arithmetic marks the expression count-carrying even without a
+// count-like name.
+func narrowSum(a, b int) int32 {
+	return int32(a + b) // want `unguarded narrowing conversion int32\(a \+ b\)`
+}
+
+// narrowTotal64: int(x) of a 64-bit total is platform-dependent narrowing.
+func narrowTotal64(total int64) int {
+	return int(total) // want `unguarded narrowing conversion int\(total\)`
+}
+
+// narrowConstant: constants are checked by the compiler, not flagged.
+func narrowConstant() int32 {
+	return int32(41)
+}
+
+// narrowOpaque: a non-count, non-arithmetic operand is out of scope.
+func narrowOpaque(code int) int32 {
+	return int32(code)
+}
+
+// widen: widening is always fine.
+func widen(count int32) int64 {
+	return int64(count)
+}
+
+// satClamp is a blessed saturating helper: conversions inside sat*-named
+// functions are the mechanism itself.
+func satClamp(count int) int32 {
+	const maxInt32 = 1<<31 - 1
+	if count > maxInt32 {
+		return maxInt32
+	}
+	return int32(count)
+}
+
+// narrowSuppressed: a justified suppression silences the diagnostic.
+func narrowSuppressed(count int) int32 {
+	//lint:ignore narrowconv count is bounded by the table's int32 row indices
+	return int32(count)
+}

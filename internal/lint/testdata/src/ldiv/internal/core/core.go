@@ -1,0 +1,127 @@
+// Package core is detrange golden testdata: it sits at a release-producing
+// import path, so nondeterministic iteration and clocks are flagged.
+package core
+
+import (
+	"math/rand"
+	"slices"
+	"sort"
+	"time"
+)
+
+// mapRangeFlagged: a bare map walk with order-sensitive effects.
+func mapRangeFlagged(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `nondeterministic iteration over map m`
+		out = append(out, k)
+	}
+	return out
+}
+
+// mapRangeFeedsSort: the canonical deterministic walk — collect, then sort.
+func mapRangeFeedsSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// mapRangeSlicesSort: same, via the slices package.
+func mapRangeSlicesSort(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// mapRangeCollectNoSort: collecting without sorting stays flagged — the
+// slice inherits the map's order.
+func mapRangeCollectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `nondeterministic iteration over map m`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// mapRangeCommutative: integer sums, counts, bit-ors, and running extrema
+// are iteration-order independent.
+func mapRangeCommutative(m map[string]int) (int, int, int) {
+	total, n, most := 0, 0, 0
+	for _, v := range m {
+		total += v
+		n++
+		if v > most {
+			most = v
+		}
+	}
+	return total, n, most
+}
+
+// mapRangeMinMax: the min/max builtins as running extrema.
+func mapRangeMinMax(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		best = max(best, v)
+	}
+	return best
+}
+
+// mapRangeClear: delete-while-ranging is order-independent and Go-specified.
+func mapRangeClear(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// mapRangeFloatSum: floating-point accumulation is order-sensitive in its
+// low bits — the exact leak that makes "deterministic" figures wobble.
+func mapRangeFloatSum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `nondeterministic iteration over map m`
+		total += v
+	}
+	return total
+}
+
+// mapRangeArgmax: tracking an argmax is tie-order dependent.
+func mapRangeArgmax(m map[string]int) string {
+	best, arg := 0, ""
+	for k, v := range m { // want `nondeterministic iteration over map m`
+		if v > best {
+			best, arg = v, k
+		}
+	}
+	_ = best
+	return arg
+}
+
+// mapRangeSuppressed: a justified suppression silences the diagnostic.
+func mapRangeSuppressed(m map[string]int) []string {
+	var out []string
+	//lint:ignore detrange output is diffed set-wise by the caller
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// wallClock: time.Now injects the clock.
+func wallClock() int64 {
+	return time.Now().Unix() // want `time\.Now in release-producing package core`
+}
+
+// globalRand: package-level math/rand draws from the global source.
+func globalRand() int {
+	return rand.Intn(10) // want `rand\.Intn draws from math/rand's global source`
+}
+
+// seededRand: an explicitly seeded generator is deterministic.
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}

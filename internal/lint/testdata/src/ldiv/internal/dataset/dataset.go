@@ -1,0 +1,16 @@
+// Package dataset is detrange negative testdata: its import path is not in
+// the release-producing set, so map ranges and clocks pass without comment
+// (the generators are seeded at a higher level).
+package dataset
+
+import "time"
+
+func mapRangeUnflagged(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func wallClockUnflagged() int64 { return time.Now().Unix() }

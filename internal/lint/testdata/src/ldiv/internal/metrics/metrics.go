@@ -1,0 +1,6 @@
+// Package metrics is narrowconv negative testdata: the package is outside
+// the count-narrowing scope, so even a raw count conversion passes (it is in
+// detrange's scope instead, which these cases do not touch).
+package metrics
+
+func narrowUnflagged(count int) int32 { return int32(count) }

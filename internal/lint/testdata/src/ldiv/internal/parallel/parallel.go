@@ -1,0 +1,13 @@
+// Package parallel is the analysistest stub of ldiv/internal/parallel: same
+// import-path tail, type name, and method set as the real bounded worker
+// pool, so poolcheck golden tests exercise the driver's exact matching.
+package parallel
+
+// Queue is the stub of the long-lived bounded task queue.
+type Queue struct{}
+
+func NewQueue(workers, capacity int) *Queue { return &Queue{} }
+
+func (q *Queue) TrySubmit(fn func()) bool { return true }
+func (q *Queue) Backlog() int             { return 0 }
+func (q *Queue) Close()                   {}

@@ -1,0 +1,35 @@
+// Package table is the analysistest stub of ldiv/internal/table: the same
+// import-path tail and method names as the real columnar core, with bodies
+// reduced to what type-checking needs. The viewsafety analyzer matches on
+// the receiver type's package path and method names, so golden tests against
+// this stub exercise exactly the matching the real driver performs.
+package table
+
+// Table is the stub of the arena-backed columnar table.
+type Table struct {
+	rows []int32
+}
+
+func (t *Table) Len() int { return len(t.rows) }
+
+// View-producing methods: zero-copy results sharing the receiver's storage.
+
+func (t *Table) Subset(rows []int) *Table                    { return &Table{} }
+func (t *Table) Sample(k int) *Table                         { return &Table{} }
+func (t *Table) Project(cols []int) (*Table, error)          { return &Table{}, nil }
+func (t *Table) ProjectNames(names []string) (*Table, error) { return &Table{}, nil }
+
+// Clone rematerializes a view into an owning table.
+
+func (t *Table) Clone() *Table { return &Table{} }
+
+// Mutating methods: the append path.
+
+func (t *Table) AppendRow(qi []int, sa int) error          { return nil }
+func (t *Table) MustAppendRow(qi []int, sa int)            {}
+func (t *Table) AppendLabels(qi []string, sa string) error { return nil }
+
+// Borrowing accessors: zero-copy slices aliasing the column arena.
+
+func (t *Table) Col(j int) []int32 { return nil }
+func (t *Table) SAView() []int     { return nil }

@@ -1,0 +1,87 @@
+// Package poolcheck is golden testdata for the poolcheck analyzer: dropped
+// TrySubmit verdicts and queues that can never drain.
+package poolcheck
+
+import "ldiv/internal/parallel"
+
+// droppedStatement: TrySubmit as a statement drops the verdict.
+func droppedStatement(q *parallel.Queue, fn func()) {
+	q.TrySubmit(fn) // want `result of TrySubmit is dropped`
+}
+
+// droppedBlank: assigning the verdict to blank drops it too.
+func droppedBlank(q *parallel.Queue, fn func()) {
+	_ = q.TrySubmit(fn) // want `result of TrySubmit is dropped`
+}
+
+// droppedDefer: a deferred TrySubmit cannot have its verdict read.
+func droppedDefer(q *parallel.Queue, fn func()) {
+	defer q.TrySubmit(fn) // want `result of TrySubmit is dropped`
+}
+
+// handledVerdict: consuming the verdict is the contract.
+func handledVerdict(q *parallel.Queue, fn func()) bool {
+	if !q.TrySubmit(fn) {
+		return false
+	}
+	return true
+}
+
+// handledExpression: any non-discarding position is fine.
+func handledExpression(q *parallel.Queue, fn func()) bool {
+	ok := q.TrySubmit(fn)
+	return ok
+}
+
+// suppressedDrop: a justified suppression silences the diagnostic.
+func suppressedDrop(q *parallel.Queue, fn func()) {
+	//lint:ignore poolcheck best-effort metrics flush; losing it under backpressure is fine
+	q.TrySubmit(fn)
+}
+
+// leakedQueue: created, never closed, never handed off.
+func leakedQueue() {
+	q := parallel.NewQueue(4, 16) // want `parallel\.NewQueue result is never Closed and never leaves this function`
+	if !q.TrySubmit(func() {}) {
+		return
+	}
+}
+
+// closedQueue: a deferred Close drains it.
+func closedQueue() {
+	q := parallel.NewQueue(4, 16)
+	defer q.Close()
+	if !q.TrySubmit(func() {}) {
+		return
+	}
+}
+
+// returnedQueue: returning hands the Close obligation to the caller.
+func returnedQueue() *parallel.Queue {
+	q := parallel.NewQueue(4, 16)
+	return q
+}
+
+// storedQueue: storing in a struct hands ownership off.
+type server struct {
+	queue *parallel.Queue
+}
+
+func storedQueue(s *server) {
+	q := parallel.NewQueue(4, 16)
+	s.queue = q
+}
+
+// literalQueue: composite-literal fields hand ownership off too.
+func literalQueue() *server {
+	q := parallel.NewQueue(4, 16)
+	return &server{queue: q}
+}
+
+// passedQueue: passing the queue to another function hands it off.
+func passedQueue() {
+	q := parallel.NewQueue(4, 16)
+	shutdownLater(q)
+}
+
+func shutdownLater(q *parallel.Queue) { q.Close() }

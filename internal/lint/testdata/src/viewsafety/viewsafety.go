@@ -1,0 +1,95 @@
+// Package viewsafety is golden testdata for the viewsafety analyzer:
+// mutation of zero-copy views and retention of borrowed column slices
+// across appends.
+package viewsafety
+
+import "ldiv/internal/table"
+
+// appendToSubset: mutating a view variable.
+func appendToSubset(t *table.Table, rows []int) {
+	v := t.Subset(rows)
+	v.MustAppendRow([]int{1}, 2) // want `MustAppendRow on v, which may be a zero-copy view \(assigned from Subset`
+}
+
+// appendToSample: same through Sample.
+func appendToSample(t *table.Table) error {
+	s := t.Sample(10)
+	return s.AppendRow([]int{1}, 2) // want `AppendRow on s, which may be a zero-copy view \(assigned from Sample`
+}
+
+// appendToProjection: the (*Table, error) form taints the table result.
+func appendToProjection(t *table.Table) error {
+	p, err := t.Project([]int{0})
+	if err != nil {
+		return err
+	}
+	return p.AppendLabels([]string{"a"}, "b") // want `AppendLabels on p, which may be a zero-copy view \(assigned from Project`
+}
+
+// chainedAppend: mutation chained directly onto a view-producing call.
+func chainedAppend(t *table.Table, rows []int) {
+	t.Subset(rows).MustAppendRow([]int{1}, 2) // want `MustAppendRow on the result of Subset\(t\) mutates a zero-copy view`
+}
+
+// cloneMakesItSafe: Clone rematerializes, so appends are fine.
+func cloneMakesItSafe(t *table.Table, rows []int) {
+	v := t.Subset(rows)
+	v = v.Clone()
+	v.MustAppendRow([]int{1}, 2)
+}
+
+// chainedClone: Clone directly in the chain is fine too.
+func chainedClone(t *table.Table, rows []int) {
+	t.Subset(rows).Clone().MustAppendRow([]int{1}, 2)
+}
+
+// appendToOwner: appending to a table that is not a view is fine.
+func appendToOwner(t *table.Table) {
+	t.MustAppendRow([]int{1}, 2)
+}
+
+// suppressedViewAppend: a justified suppression silences the diagnostic.
+func suppressedViewAppend(t *table.Table, rows []int) {
+	v := t.Subset(rows)
+	//lint:ignore viewsafety exercised only on owning tables in this test helper
+	v.MustAppendRow([]int{1}, 2)
+}
+
+// staleColAfterAppend: a borrowed column slice used after an append on the
+// same table.
+func staleColAfterAppend(t *table.Table) int32 {
+	col := t.Col(0)
+	t.MustAppendRow([]int{1}, 2)
+	return col[0] // want `col was borrowed from t\.Col\(\) before an append on t`
+}
+
+// staleSAViewAfterAppend: same for the sensitive column.
+func staleSAViewAfterAppend(t *table.Table) int {
+	sa := t.SAView()
+	t.MustAppendRow([]int{1}, 2)
+	return sa[0] // want `sa was borrowed from t\.SAView\(\) before an append on t`
+}
+
+// refetchAfterAppend: re-borrowing after the append is the documented fix.
+func refetchAfterAppend(t *table.Table) int32 {
+	col := t.Col(0)
+	_ = col
+	t.MustAppendRow([]int{1}, 2)
+	col = t.Col(0)
+	return col[0]
+}
+
+// appendToOtherTable: appends to a different table do not invalidate.
+func appendToOtherTable(t, u *table.Table) int32 {
+	col := t.Col(0)
+	u.MustAppendRow([]int{1}, 2)
+	return col[0]
+}
+
+// useBeforeAppend: uses before the append are fine.
+func useBeforeAppend(t *table.Table) int32 {
+	col := t.Col(0)
+	v := col[0]
+	t.MustAppendRow([]int{1}, 2)
+	return v
+}

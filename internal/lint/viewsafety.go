@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ldiv/internal/lint/analysis"
+)
+
+// viewProducing are the table.Table methods that return zero-copy views
+// (or share column storage) of their receiver; mutating their result — or
+// retaining slices borrowed from any table across an append — is undefined
+// under the columnar core's invariant 0.
+var viewProducing = map[string]bool{
+	"Subset":       true,
+	"Sample":       true,
+	"Project":      true,
+	"ProjectNames": true,
+}
+
+// mutating are the append-path methods. They reject views at runtime and
+// invalidate previously borrowed column slices on growth.
+var mutating = map[string]bool{
+	"AppendRow":     true,
+	"MustAppendRow": true,
+	"AppendLabels":  true,
+}
+
+// borrowing are the zero-copy accessors whose result aliases the table's
+// column arena and goes stale when an append re-carves it.
+var borrowing = map[string]bool{
+	"Col":    true,
+	"SAView": true,
+}
+
+// Viewsafety encodes PR 4's invariant 0 for the columnar table core: tables
+// are append-only before publication and read-only after; views share
+// storage and must never be mutated; borrowed column slices do not survive
+// appends.
+var Viewsafety = &analysis.Analyzer{
+	Name: "viewsafety",
+	Doc: `viewsafety: forbid mutating table views and retaining column slices across appends
+
+table.Subset, Sample, Project, and ProjectNames return zero-copy views that
+share the receiver's column arena, and Col()/SAView() hand out slices aliasing
+it. This analyzer flags, within a function:
+
+  - calls to AppendRow/MustAppendRow/AppendLabels on a value obtained from a
+    view-producing method without an intervening Clone() — appends to views
+    fail at runtime, and Clone is the documented way to rematerialize;
+  - uses of a Col()/SAView() slice after an append on the table it was
+    borrowed from — growth re-carves the arena, so the slice may alias dead
+    storage.
+
+The analysis is intra-procedural and flow-approximate; a use the analyzer
+cannot prove safe can be suppressed with //lint:ignore viewsafety <reason>.`,
+	Run: runViewsafety,
+}
+
+func runViewsafety(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		funcBodies(file, func(_ string, body *ast.BlockStmt) {
+			checkViewMutation(pass, body)
+			checkBorrowRetention(pass, body)
+		})
+	}
+	return nil, nil
+}
+
+// tableMethodCall resolves call as a method call on a table.Table value and
+// returns the receiver and method name.
+func tableMethodCall(info *types.Info, call *ast.CallExpr) (recv ast.Expr, name string, ok bool) {
+	recv, name, ok = methodCall(info, call)
+	if !ok {
+		return nil, "", false
+	}
+	tv, found := info.Types[recv]
+	if !found || !isTableType(tv.Type) {
+		return nil, "", false
+	}
+	return recv, name, true
+}
+
+// checkViewMutation walks the body in source order, tainting variables
+// assigned from view-producing calls and clearing the taint on any
+// reassignment (Clone() included), then flags mutating calls on tainted
+// variables or directly on a view-producing call's result.
+func checkViewMutation(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	viewVars := make(map[types.Object]string) // tainted var -> producing method
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			recordViewAssign(info, n, viewVars)
+		case *ast.CallExpr:
+			recv, name, ok := tableMethodCall(info, n)
+			if !ok || !mutating[name] {
+				return true
+			}
+			// t.Subset(rows).MustAppendRow(...): mutation chained straight
+			// onto a view.
+			if inner, innerName, isCall := chainedTableCall(info, recv); isCall && viewProducing[innerName] {
+				pass.Reportf(n.Pos(),
+					"%s on the result of %s mutates a zero-copy view: Clone() it first (views reject appends) — or suppress with //lint:ignore viewsafety <reason>",
+					name, innerName+"("+types.ExprString(inner)+")")
+				return true
+			}
+			if id, isID := ast.Unparen(recv).(*ast.Ident); isID {
+				if producer, tainted := viewVars[info.ObjectOf(id)]; tainted {
+					pass.Reportf(n.Pos(),
+						"%s on %s, which may be a zero-copy view (assigned from %s without an intervening Clone): views reject appends — Clone() before mutating, or suppress with //lint:ignore viewsafety <reason>",
+						name, id.Name, producer)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// chainedTableCall reports whether recv is itself a table method call,
+// returning its receiver and method name.
+func chainedTableCall(info *types.Info, recv ast.Expr) (inner ast.Expr, name string, ok bool) {
+	call, isCall := ast.Unparen(recv).(*ast.CallExpr)
+	if !isCall {
+		return nil, "", false
+	}
+	return tableMethodCall(info, call)
+}
+
+// recordViewAssign updates the taint map for one assignment: variables
+// assigned from Subset/Sample/Project/ProjectNames become tainted with the
+// producing method's name; any other assignment (including from Clone)
+// clears them.
+func recordViewAssign(info *types.Info, asg *ast.AssignStmt, viewVars map[types.Object]string) {
+	// Producer calls may return (*Table, error); the table is the first
+	// non-error left-hand side.
+	producer := ""
+	if len(asg.Rhs) == 1 {
+		if _, name, ok := chainedTableCall(info, asg.Rhs[0]); ok && viewProducing[name] {
+			producer = name
+		}
+	}
+	for _, lhs := range asg.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := info.ObjectOf(id)
+		if obj == nil {
+			continue
+		}
+		if producer != "" && isTableType(obj.Type()) {
+			viewVars[obj] = producer
+		} else {
+			delete(viewVars, obj)
+		}
+	}
+}
+
+// checkBorrowRetention flags uses of Col()/SAView() slices after an append on
+// the table they were borrowed from. Borrows and appends are matched by the
+// printed receiver expression (so s.tbl.Col(0) is only invalidated by appends
+// on s.tbl), uses are compared by source position, and one diagnostic is
+// issued per stale slice.
+func checkBorrowRetention(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	type borrow struct {
+		obj      types.Object
+		accessor string
+		recvStr  string
+		stale    bool
+		reported bool
+	}
+	var borrows []*borrow
+	find := func(obj types.Object) *borrow {
+		for _, b := range borrows {
+			if b.obj == obj {
+				return b
+			}
+		}
+		return nil
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.ObjectOf(id)
+				if obj == nil {
+					continue
+				}
+				if b := find(obj); b != nil {
+					b.stale = false // reassigned: fresh value, fresh borrow or not
+					b.reported = false
+				}
+				rhs := rhsFor(n, i)
+				if rhs == nil {
+					continue
+				}
+				if recv, name, ok := chainedTableCall(info, rhs); ok && borrowing[name] {
+					if b := find(obj); b != nil {
+						b.accessor, b.recvStr = name, types.ExprString(recv)
+					} else {
+						borrows = append(borrows, &borrow{obj: obj, accessor: name, recvStr: types.ExprString(recv)})
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if recv, name, ok := tableMethodCall(info, n); ok && mutating[name] {
+				recvStr := types.ExprString(recv)
+				for _, b := range borrows {
+					if b.recvStr == recvStr {
+						b.stale = true
+					}
+				}
+			}
+		case *ast.Ident:
+			obj := info.Uses[n]
+			if obj == nil {
+				return true
+			}
+			if b := find(obj); b != nil && b.stale && !b.reported {
+				b.reported = true
+				pass.Reportf(n.Pos(),
+					"%s was borrowed from %s.%s() before an append on %s: appends may re-carve the column arena, so the slice can alias dead storage — re-fetch it after appending, or suppress with //lint:ignore viewsafety <reason>",
+					n.Name, b.recvStr, b.accessor, b.recvStr)
+			}
+		}
+		return true
+	})
+}
+
+// rhsFor returns the right-hand expression feeding left-hand side i, or nil
+// for multi-value forms (x, err := f()) where i picks no single expression.
+func rhsFor(asg *ast.AssignStmt, i int) ast.Expr {
+	if len(asg.Rhs) == len(asg.Lhs) {
+		return asg.Rhs[i]
+	}
+	if len(asg.Rhs) == 1 && i == 0 {
+		return asg.Rhs[0]
+	}
+	return nil
+}

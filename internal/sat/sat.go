@@ -1,0 +1,47 @@
+// Package sat provides the blessed saturating conversions and arithmetic for
+// count-carrying integers. A release's published counts are attacker
+// controlled and the auditor's verdicts must be computed on full-width
+// values; where a dense data structure forces a narrower representation, the
+// narrowing must saturate, never wrap. ldivlint's narrowconv analyzer flags
+// raw int32(...)-style conversions of count-like expressions in the audit,
+// eligibility, anatomy, and core packages precisely so that this package is
+// the only way counts get narrower.
+package sat
+
+import "math"
+
+// Int32 converts a count to int32, clamping to the int32 range instead of
+// wrapping. Saturation keeps comparisons conservative: a count too large to
+// represent stays "very large" rather than going negative.
+func Int32(n int) int32 {
+	if n > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	if n < math.MinInt32 {
+		return math.MinInt32
+	}
+	return int32(n)
+}
+
+// Add adds two non-negative counts, saturating at MaxInt instead of
+// wrapping. Behavior is undefined for negative inputs, as for the counts it
+// exists to sum.
+func Add(a, b int) int {
+	if a > math.MaxInt-b {
+		return math.MaxInt
+	}
+	return a + b
+}
+
+// Add32 adds a (possibly negative) delta to a non-negative int32 count,
+// saturating at MaxInt32.
+func Add32(a int32, delta int32) int32 {
+	s := int64(a) + int64(delta)
+	if s > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	if s < math.MinInt32 {
+		return math.MinInt32
+	}
+	return int32(s)
+}

@@ -1,0 +1,62 @@
+package sat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInt32(t *testing.T) {
+	cases := []struct {
+		in   int
+		want int32
+	}{
+		{0, 0},
+		{41, 41},
+		{-7, -7},
+		{math.MaxInt32, math.MaxInt32},
+		{math.MaxInt32 + 1, math.MaxInt32},
+		{math.MaxInt, math.MaxInt32},
+		{math.MinInt32, math.MinInt32},
+		{math.MinInt32 - 1, math.MinInt32},
+		{math.MinInt, math.MinInt32},
+	}
+	for _, c := range cases {
+		if got := Int32(c.in); got != c.want {
+			t.Errorf("Int32(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAdd(t *testing.T) {
+	cases := []struct {
+		a, b, want int
+	}{
+		{0, 0, 0},
+		{3, 4, 7},
+		{math.MaxInt, 1, math.MaxInt},
+		{math.MaxInt - 1, 1, math.MaxInt},
+		{1, math.MaxInt, math.MaxInt},
+	}
+	for _, c := range cases {
+		if got := Add(c.a, c.b); got != c.want {
+			t.Errorf("Add(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAdd32(t *testing.T) {
+	cases := []struct {
+		a, delta, want int32
+	}{
+		{0, 0, 0},
+		{5, -3, 2},
+		{math.MaxInt32, 1, math.MaxInt32},
+		{math.MaxInt32 - 1, 2, math.MaxInt32},
+		{math.MinInt32, -1, math.MinInt32},
+	}
+	for _, c := range cases {
+		if got := Add32(c.a, c.delta); got != c.want {
+			t.Errorf("Add32(%d, %d) = %d, want %d", c.a, c.delta, got, c.want)
+		}
+	}
+}
