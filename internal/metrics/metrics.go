@@ -58,17 +58,22 @@ func KLDivergence(g *generalize.Generalized) (float64, error) {
 
 	// Empirical distribution f over distinct (QI..., SA) points.
 	type point struct {
-		key string
 		row int // representative row
 		cnt int
 	}
 	counts := make(map[string]*point)
+	// points keeps first-occurrence order: the KL sum below accumulates
+	// floats, and float addition is not associative, so iterating the map
+	// directly would make the reported divergence vary run to run.
+	points := make([]*point, 0, n)
 	for r := 0; r < n; r++ {
 		k := t.QIKey(r) + "|" + fmt.Sprint(t.SAValue(r))
 		if p, ok := counts[k]; ok {
 			p.cnt++
 		} else {
-			counts[k] = &point{key: k, row: r, cnt: 1}
+			p := &point{row: r, cnt: 1}
+			counts[k] = p
+			points = append(points, p)
 		}
 	}
 
@@ -132,7 +137,7 @@ func KLDivergence(g *generalize.Generalized) (float64, error) {
 	}
 
 	kl := 0.0
-	for _, p := range counts {
+	for _, p := range points {
 		f := float64(p.cnt) / float64(n)
 		// f*(point): contribution of exact groups with the same QI signature
 		// plus contribution of every general group covering the point.
