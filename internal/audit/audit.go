@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"ldiv/internal/eligibility"
+	"ldiv/internal/sat"
 	"ldiv/internal/table"
 )
 
@@ -456,7 +457,7 @@ func VerifyAnatomy(t *table.Table, qit, st io.Reader, opts Options) (*Report, er
 						gid, count, res.label(code), t.Len()))
 				count = t.Len() + 1
 			}
-			counter.addN(code, int32(count))
+			counter.addN(code, sat.Int32(count))
 		}
 
 		// The ST must reconcile with the QIT: the counts of a group sum to
