@@ -46,6 +46,7 @@ func newSAMultiset(domain int) *saMultiset {
 func (m *saMultiset) valIndex(v int32) (int, bool) {
 	lo, hi := 0, len(m.vals)
 	for lo < hi {
+		//lint:ignore narrowconv overflow-safe midpoint idiom; lo and hi are in-range slice indices, so the uint sum fits int
 		mid := int(uint(lo+hi) >> 1)
 		if m.vals[mid] < v {
 			lo = mid + 1
@@ -83,7 +84,7 @@ func (m *saMultiset) add(v, row int) {
 	}
 	m.rows[i] = append(m.rows[i], int32(row))
 	old := int(m.cnt[v])
-	m.cnt[v] = int32(old + 1)
+	m.cnt[v]++
 	m.shiftHeight(old, old+1)
 	m.size++
 	if old+1 > m.maxH {
@@ -102,7 +103,7 @@ func (m *saMultiset) removeOne(v int) int {
 	row := stack[len(stack)-1]
 	m.rows[i] = stack[:len(stack)-1]
 	old := int(m.cnt[v])
-	m.cnt[v] = int32(old - 1)
+	m.cnt[v]--
 	m.shiftHeight(old, old-1)
 	m.size--
 	// The pillar pointer moves down monotonically overall; each step is O(1)
