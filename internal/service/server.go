@@ -254,6 +254,7 @@ func prepare(body []byte, p Params) (*ldiv.Table, *apiError) {
 // runPrepared executes the requested algorithm on an already-validated table.
 // It is the production value of Server.run.
 func runPrepared(t *ldiv.Table, p Params) (*Result, error) {
+	//lint:ignore detrange job latency is an operational metric, not release content
 	start := time.Now()
 	if p.Algorithm == "anatomy" {
 		an, err := ldiv.Anatomize(t, p.L)
@@ -405,9 +406,10 @@ func (s *Server) runSafely(t *ldiv.Table, p Params) (res *Result, err error) {
 // status requests never see a partially-built job.
 func (s *Server) newJob(params Params) *Job {
 	return &Job{
-		ID:        fmt.Sprintf("j%06d", s.nextID.Add(1)),
-		Params:    params,
-		status:    StatusQueued,
+		ID:     fmt.Sprintf("j%06d", s.nextID.Add(1)),
+		Params: params,
+		status: StatusQueued,
+		//lint:ignore detrange submission timestamps are operational job metadata, not release content
 		submitted: time.Now().UTC(),
 	}
 }
