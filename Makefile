@@ -8,9 +8,9 @@ CORE_BENCH := BenchmarkAnonymize|BenchmarkPhase3Heavy|BenchmarkTPCore|BenchmarkT
 # with, and the end-to-end anonymization that sits on top of them.
 TABLE_BENCH := BenchmarkTableOps|BenchmarkGroupByQI|BenchmarkAnonymize$$
 
-.PHONY: all build test race bench bench-table bench-table-smoke bench-smoke fmt vet run-server smoke-server docs-lint fuzz-smoke cover
+.PHONY: all build test race bench bench-table bench-table-smoke bench-smoke fmt vet lint run-server smoke-server docs-lint fuzz-smoke cover
 
-all: build test
+all: build test lint
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,14 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs ldivlint, the repo's own analyzer suite (internal/lint): detrange
+# (map-iteration/wall-clock determinism in release-producing packages),
+# viewsafety (mutating or retaining zero-copy table views), narrowconv
+# (unguarded narrowing of count-carrying integers) and poolcheck (dropped
+# TrySubmit verdicts, unclosed queues). Nonzero on any diagnostic.
+lint:
+	./scripts/lint.sh
 
 # run-server starts the ldivd anonymization job server on :8080 (override
 # with LDIVD_FLAGS="-addr :9999 ...").

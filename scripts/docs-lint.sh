@@ -24,6 +24,26 @@ for f in docs/ARCHITECTURE.md examples/README.md; do
     done
 done
 
+# Every analyzer the architecture guide documents must exist as a source file
+# in internal/lint: the "Static analysis" section lists them as table rows of
+# the form "| `name` | ...", and ldivlint's analyzers live one per file as
+# internal/lint/<name>.go, so the doc cannot advertise an analyzer the suite
+# no longer ships.
+if [ -f docs/ARCHITECTURE.md ]; then
+    analyzers="$(sed -n '/^## Static analysis/,/^## [^S]/p' docs/ARCHITECTURE.md \
+        | grep -oE '^\| `[a-z]+`' | tr -d '|` ' || true)"
+    if [ -z "$analyzers" ]; then
+        echo "docs-lint: docs/ARCHITECTURE.md has no analyzer table under '## Static analysis'" >&2
+        fail=1
+    fi
+    for a in $analyzers; do
+        if [ ! -f "internal/lint/$a.go" ]; then
+            echo "docs-lint: ARCHITECTURE.md lists analyzer $a but internal/lint/$a.go does not exist" >&2
+            fail=1
+        fi
+    done
+fi
+
 if [ "$fail" -eq 0 ]; then
     echo "docs-lint: OK"
 fi

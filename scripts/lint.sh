@@ -1,0 +1,14 @@
+#!/bin/sh
+# lint.sh runs ldivlint, the repo's own analyzer suite (internal/lint), over
+# the whole module. It exits nonzero if any analyzer reports a diagnostic
+# (exit 3, the multichecker convention) or a package fails to load (exit 1),
+# so `make lint` and CI fail on the first unsuppressed violation.
+#
+# Diagnostics name the analyzer; suppress a false positive in place with
+#     //lint:ignore <analyzer> <reason>
+# where the reason is mandatory — a reasonless ignore is itself a diagnostic.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+exec go run ./cmd/ldivlint ./...
