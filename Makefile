@@ -89,6 +89,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseVerifyParams$$' -fuzztime $(FUZZTIME) ./internal/service
 	$(GO) test -run '^$$' -fuzz '^FuzzParseGeneralizedRelease$$' -fuzztime $(FUZZTIME) ./internal/audit
 	$(GO) test -run '^$$' -fuzz '^FuzzParseAnatomyRelease$$' -fuzztime $(FUZZTIME) ./internal/audit
+	$(GO) test -run '^$$' -fuzz '^FuzzJournalReplay$$' -fuzztime $(FUZZTIME) ./internal/store
 
 # cover enforces the coverage gate: per-package coverage for internal/... plus
 # a fail-under threshold on the total (85% by default; override with

@@ -36,13 +36,17 @@ import (
 
 // options is the parsed and validated command line of ldivd.
 type options struct {
-	addr     string
-	workers  int
-	queue    int
-	cache    int
-	retain   int
-	maxBody  int64
-	shutdown time.Duration
+	addr       string
+	workers    int
+	queue      int
+	cache      int
+	retain     int
+	maxBody    int64
+	shutdown   time.Duration
+	storeDir   string
+	jobTimeout time.Duration
+	maxRetries int
+	tenantQPS  float64
 }
 
 // errFlagParse marks errors the ContinueOnError FlagSet has already printed
@@ -62,6 +66,10 @@ func parseOptions(args []string) (options, *flag.FlagSet, error) {
 	retain := fs.Int("retain", service.DefaultJobRetention, "finished jobs kept queryable (must be positive); negative retains all forever")
 	maxBody := fs.Int64("max-body", service.DefaultMaxBodyBytes, "largest accepted CSV body in bytes")
 	shutdown := fs.Duration("shutdown-timeout", 30*time.Second, "grace period for HTTP connections after the job queue drains")
+	storeDir := fs.String("store-dir", "", "durable job-store directory; accepted jobs are journaled there (fsync'd before the 202) and recovered on restart; empty keeps jobs in memory only")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-attempt execution deadline; an attempt exceeding it fails the job; 0 disables")
+	maxRetries := fs.Int("max-retries", service.DefaultMaxAttempts-1, "retries after a transient failure before a job is quarantined as poison")
+	tenantQPS := fs.Float64("tenant-qps", 0, "per-tenant admission rate (token bucket keyed by the X-Tenant header); 0 disables quotas")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return options{}, fs, err
@@ -80,14 +88,27 @@ func parseOptions(args []string) (options, *flag.FlagSet, error) {
 	if *maxBody < 1 {
 		return options{}, fs, fmt.Errorf("invalid -max-body %d: must be positive", *maxBody)
 	}
+	if *maxRetries < 0 {
+		return options{}, fs, fmt.Errorf("invalid -max-retries %d: must be non-negative", *maxRetries)
+	}
+	if *jobTimeout < 0 {
+		return options{}, fs, fmt.Errorf("invalid -job-timeout %v: must be non-negative", *jobTimeout)
+	}
+	if *tenantQPS < 0 {
+		return options{}, fs, fmt.Errorf("invalid -tenant-qps %v: must be non-negative", *tenantQPS)
+	}
 	return options{
-		addr:     *addr,
-		workers:  *workers,
-		queue:    *queue,
-		cache:    *cache,
-		retain:   *retain,
-		maxBody:  *maxBody,
-		shutdown: *shutdown,
+		addr:       *addr,
+		workers:    *workers,
+		queue:      *queue,
+		cache:      *cache,
+		retain:     *retain,
+		maxBody:    *maxBody,
+		shutdown:   *shutdown,
+		storeDir:   *storeDir,
+		jobTimeout: *jobTimeout,
+		maxRetries: *maxRetries,
+		tenantQPS:  *tenantQPS,
 	}, fs, nil
 }
 
@@ -105,6 +126,12 @@ func serviceConfig(opts options) service.Config {
 		CacheEntries: opts.cache,
 		JobRetention: opts.retain,
 		MaxBodyBytes: opts.maxBody,
+		StoreDir:     opts.storeDir,
+		JobTimeout:   opts.jobTimeout,
+		// The CLI counts retries (attempts after the first); Config counts
+		// total attempts.
+		MaxAttempts: opts.maxRetries + 1,
+		TenantQPS:   opts.tenantQPS,
 	}
 }
 
@@ -124,7 +151,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	svc := service.New(serviceConfig(opts))
+	svc, err := service.Open(serviceConfig(opts))
+	if err != nil {
+		log.Fatalf("opening the durable store: %v", err)
+	}
 	httpServer := &http.Server{
 		Addr:              opts.addr,
 		Handler:           svc.Handler(),
@@ -136,8 +166,12 @@ func main() {
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpServer.ListenAndServe() }()
-	log.Printf("listening on %s (workers=%d queue=%d cache=%d)",
-		opts.addr, opts.workers, opts.queue, opts.cache)
+	store := opts.storeDir
+	if store == "" {
+		store = "none"
+	}
+	log.Printf("listening on %s (workers=%d queue=%d cache=%d store=%s)",
+		opts.addr, opts.workers, opts.queue, opts.cache, store)
 
 	select {
 	case err := <-serveErr:

@@ -43,6 +43,9 @@ func TestParseOptionsRejectsBadInputs(t *testing.T) {
 		{"negative queue", []string{"-queue", "-1"}, "invalid -queue"},
 		{"zero retain", []string{"-retain", "0"}, "invalid -retain 0"},
 		{"zero max body", []string{"-max-body", "0"}, "invalid -max-body"},
+		{"negative retries", []string{"-max-retries", "-1"}, "invalid -max-retries"},
+		{"negative job timeout", []string{"-job-timeout", "-1s"}, "invalid -job-timeout"},
+		{"negative tenant qps", []string{"-tenant-qps", "-0.5"}, "invalid -tenant-qps"},
 		{"unknown flag", []string{"-nope"}, "flag parse error"},
 	}
 	for _, tc := range tests {
@@ -70,6 +73,30 @@ func TestServiceConfigMapsZeroQueueToStrictHandoff(t *testing.T) {
 	}
 	if cfg := serviceConfig(opts); cfg.QueueDepth != 8 {
 		t.Errorf("-queue 8 mapped to QueueDepth %d", cfg.QueueDepth)
+	}
+}
+
+func TestDurabilityFlagsMapIntoConfig(t *testing.T) {
+	opts, _, err := parseOptions([]string{
+		"-store-dir", "/tmp/ldivd-store", "-job-timeout", "90s",
+		"-max-retries", "4", "-tenant-qps", "2.5",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := serviceConfig(opts)
+	if cfg.StoreDir != "/tmp/ldivd-store" {
+		t.Errorf("StoreDir = %q", cfg.StoreDir)
+	}
+	if cfg.JobTimeout != 90*time.Second {
+		t.Errorf("JobTimeout = %v", cfg.JobTimeout)
+	}
+	// -max-retries counts retries; Config counts total attempts.
+	if cfg.MaxAttempts != 5 {
+		t.Errorf("MaxAttempts = %d, want 5 for -max-retries 4", cfg.MaxAttempts)
+	}
+	if cfg.TenantQPS != 2.5 {
+		t.Errorf("TenantQPS = %v", cfg.TenantQPS)
 	}
 }
 

@@ -26,6 +26,7 @@ var deterministicPkgs = map[string]bool{
 	"audit":      true,
 	"metrics":    true,
 	"service":    true,
+	"store":      true,
 }
 
 // Detrange flags the canonical ways to break byte-identical output inside

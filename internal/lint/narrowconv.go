@@ -18,6 +18,9 @@ var narrowconvPkgs = map[string]bool{
 	"eligibility": true,
 	"anatomy":     true,
 	"core":        true,
+	// The store's journal replay folds attacker-adjacent on-disk bytes into
+	// attempt counts and byte offsets; a narrowing there corrupts recovery.
+	"store": true,
 }
 
 // Narrowconv flags the PR 5 bug class: narrowing a count-carrying integer

@@ -5,11 +5,13 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // WorkerCount normalizes a configured worker count: values below 1 mean "one
@@ -99,7 +101,13 @@ type Queue struct {
 	mu     sync.Mutex
 	closed bool
 	tasks  chan func()
-	wg     sync.WaitGroup
+	// closedc is closed by Close so blocked Submit calls wake immediately
+	// instead of waiting out their context.
+	closedc chan struct{}
+	// freed receives a (coalesced) signal each time a worker frees a backlog
+	// slot, waking one blocked Submit to retry.
+	freed chan struct{}
+	wg    sync.WaitGroup
 }
 
 // NewQueue starts a queue with the given worker bound (normalized by
@@ -110,18 +118,34 @@ func NewQueue(workers, capacity int) *Queue {
 	if capacity < 0 {
 		capacity = 0
 	}
-	q := &Queue{tasks: make(chan func(), capacity)}
+	q := &Queue{
+		tasks:   make(chan func(), capacity),
+		closedc: make(chan struct{}),
+		freed:   make(chan struct{}, 1),
+	}
 	workers = WorkerCount(workers)
 	q.wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer q.wg.Done()
 			for fn := range q.tasks {
+				q.signalFreed() // a backlog slot just freed
 				runTask(fn)
+				q.signalFreed() // this worker is about to be ready again
 			}
 		}()
 	}
 	return q
+}
+
+// signalFreed coalesces "a backlog slot freed" notifications into a
+// 1-buffered channel; a dropped signal is fine because every waiter that
+// wakes re-signals after a successful submit (chain wakeup).
+func (q *Queue) signalFreed() {
+	select {
+	case q.freed <- struct{}{}:
+	default:
+	}
 }
 
 // runTask executes one queued task, containing panics so a misbehaving task
@@ -149,16 +173,69 @@ func (q *Queue) TrySubmit(fn func()) bool {
 	}
 }
 
+// ErrQueueClosed is returned by Submit when the queue has been closed.
+var ErrQueueClosed = errors.New("parallel: queue closed")
+
+// Submit offers a task to the queue, blocking until the backlog has room, the
+// context is cancelled, or the queue is closed. It returns nil exactly when
+// the task was accepted (and will therefore run, even across a graceful
+// Close), ctx.Err() on cancellation, and ErrQueueClosed after Close. It is
+// the cancellation-aware counterpart of TrySubmit for callers — retries,
+// crash recovery — whose work must not be dropped just because the backlog
+// is momentarily full.
+func (q *Queue) Submit(ctx context.Context, fn func()) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		q.mu.Lock()
+		if q.closed {
+			q.mu.Unlock()
+			return ErrQueueClosed
+		}
+		select {
+		case q.tasks <- fn:
+			q.mu.Unlock()
+			// Chain wakeup: another waiter may be blocked on a freed signal
+			// that was coalesced away while we consumed the slot.
+			q.signalFreed()
+			return nil
+		default:
+			q.mu.Unlock()
+		}
+		// The freed signal is a wakeup hint, not a guarantee (it is
+		// coalesced, and with an unbuffered backlog "ready" is a worker at
+		// its receive, which no signal can promise). The timer arm bounds
+		// the cost of any missed hint to one poll interval.
+		wait := time.NewTimer(10 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			wait.Stop()
+			return ctx.Err()
+		case <-q.closedc:
+			// Loop once more: the closed check under the lock is the
+			// authoritative answer.
+		case <-q.freed:
+		case <-wait.C:
+		}
+		wait.Stop()
+	}
+}
+
 // Backlog returns the number of accepted tasks not yet picked up by a worker.
 func (q *Queue) Backlog() int { return len(q.tasks) }
 
+// Capacity returns the backlog bound the queue was created with.
+func (q *Queue) Capacity() int { return cap(q.tasks) }
+
 // Close stops accepting new tasks, waits for every already-accepted task to
 // finish, and returns. It is idempotent and safe to call concurrently with
-// TrySubmit.
+// TrySubmit and Submit.
 func (q *Queue) Close() {
 	q.mu.Lock()
 	if !q.closed {
 		q.closed = true
+		close(q.closedc)
 		close(q.tasks)
 	}
 	q.mu.Unlock()

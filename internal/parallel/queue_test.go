@@ -1,0 +1,177 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// occupy spins TrySubmit until the task is accepted; an unbuffered queue
+// only accepts once a worker goroutine has reached its receive.
+func occupy(t *testing.T, q *Queue, fn func()) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !q.TrySubmit(fn) {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never accepted the occupying task")
+		}
+		runtime.Gosched()
+	}
+}
+
+// TestQueueCloseRacingTrySubmit hammers TrySubmit from many goroutines while
+// Close runs concurrently: a submission must either be accepted (and then
+// run, Close drains) or rejected — never panic on the closing channel, never
+// hang, and never be accepted-but-dropped. Run under -race in CI.
+func TestQueueCloseRacingTrySubmit(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		q := NewQueue(2, 4)
+		var accepted, ran atomic.Int64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 20; i++ {
+					if q.TrySubmit(func() { ran.Add(1) }) {
+						accepted.Add(1)
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			q.Close()
+		}()
+		close(start)
+		wg.Wait()
+		// Close has returned, so every accepted task has already run.
+		if accepted.Load() != ran.Load() {
+			t.Fatalf("round %d: accepted %d tasks but ran %d", round, accepted.Load(), ran.Load())
+		}
+		// After Close, a submission must be a plain rejection.
+		if q.TrySubmit(func() {}) {
+			t.Fatalf("round %d: TrySubmit accepted a task after Close", round)
+		}
+	}
+}
+
+func TestQueueSubmitBlocksUntilSlotFrees(t *testing.T) {
+	q := NewQueue(1, 0)
+	defer q.Close()
+	release := make(chan struct{})
+	var order []int
+	var mu sync.Mutex
+	note := func(i int) {
+		mu.Lock()
+		order = append(order, i)
+		mu.Unlock()
+	}
+	// Occupy the only worker; with capacity 0 the next Submit must block.
+	// (Spin: an unbuffered queue accepts only once a worker is receiving.)
+	occupy(t, q, func() { <-release; note(1) })
+	submitted := make(chan error, 1)
+	go func() {
+		submitted <- q.Submit(context.Background(), func() { note(2) })
+	}()
+	select {
+	case err := <-submitted:
+		t.Fatalf("Submit returned %v before a slot freed", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	if err := <-submitted; err != nil {
+		t.Fatalf("Submit after slot freed: %v", err)
+	}
+	q.Close() // drains task 2
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("tasks ran as %v, want [1 2]", order)
+	}
+}
+
+func TestQueueSubmitHonorsContextCancellation(t *testing.T) {
+	q := NewQueue(1, 0)
+	defer q.Close()
+	block := make(chan struct{})
+	defer close(block)
+	occupy(t, q, func() { <-block })
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- q.Submit(ctx, func() {}) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Submit = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Submit did not return after cancellation")
+	}
+}
+
+func TestQueueSubmitReturnsErrQueueClosed(t *testing.T) {
+	q := NewQueue(1, 1)
+	q.Close()
+	if err := q.Submit(context.Background(), func() {}); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("Submit on closed queue = %v, want ErrQueueClosed", err)
+	}
+
+	// A Submit blocked on a full backlog must wake when Close is called.
+	q2 := NewQueue(1, 0)
+	block := make(chan struct{})
+	occupy(t, q2, func() { <-block })
+	errc := make(chan error, 1)
+	go func() { errc <- q2.Submit(context.Background(), func() {}) }()
+	time.Sleep(10 * time.Millisecond)
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(block) // let the draining task finish so Close can return
+	}()
+	q2.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrQueueClosed) {
+			t.Fatalf("blocked Submit after Close = %v, want ErrQueueClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked Submit did not wake on Close")
+	}
+}
+
+// TestQueueSubmitManyWaiters floods a tiny queue with blocking Submits and
+// asserts every one of them eventually lands (no lost wakeups from the
+// coalesced freed signal).
+func TestQueueSubmitManyWaiters(t *testing.T) {
+	q := NewQueue(2, 1)
+	var ran atomic.Int64
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := q.Submit(context.Background(), func() {
+				time.Sleep(time.Millisecond)
+				ran.Add(1)
+			}); err != nil {
+				t.Errorf("Submit: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	if ran.Load() != n {
+		t.Fatalf("ran %d tasks, want %d", ran.Load(), n)
+	}
+}

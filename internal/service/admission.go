@@ -1,0 +1,135 @@
+package service
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// This file is the admission-control layer: the decisions made *before* work
+// is accepted. Two mechanisms beyond the queue's own backpressure:
+//
+//   - queue-depth-aware shedding: every 429/503/not-done-yet response carries
+//     a Retry-After computed from the current backlog and the measured
+//     average job runtime, instead of a hardcoded guess, so well-behaved
+//     clients back off proportionally to the actual overload;
+//   - per-tenant token buckets keyed by the X-Tenant header, so one noisy
+//     tenant exhausts its own quota instead of the shared backlog.
+
+// maxTenantBuckets bounds the limiter's memory: beyond it, buckets that have
+// fully refilled (idle tenants) are evicted before a new one is added.
+const maxTenantBuckets = 4096
+
+// anonymousTenant is the bucket shared by every request without an X-Tenant
+// header when quotas are enabled.
+const anonymousTenant = "anonymous"
+
+// tokenBucket is one tenant's refillable quota.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// tenantLimiter hands out admission tokens per tenant: qps tokens per second
+// refill up to a burst of `burst`. The zero limiter (nil) admits everything.
+type tenantLimiter struct {
+	qps   float64
+	burst float64
+	clock func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+}
+
+// newTenantLimiter returns a limiter, or nil when qps is not positive
+// (quotas disabled).
+func newTenantLimiter(qps float64, burst int, clock func() time.Time) *tenantLimiter {
+	if qps <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if burst <= 0 {
+		b = math.Max(1, math.Ceil(2*qps))
+	}
+	return &tenantLimiter{
+		qps:     qps,
+		burst:   b,
+		clock:   clock,
+		buckets: make(map[string]*tokenBucket),
+	}
+}
+
+// admit takes one token from the tenant's bucket. When the bucket is empty
+// it reports false plus how long until the next token exists.
+func (l *tenantLimiter) admit(tenant string) (bool, time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	if tenant == "" {
+		tenant = anonymousTenant
+	}
+	now := l.clock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[tenant]
+	if b == nil {
+		l.evictIdleLocked(now)
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	} else {
+		elapsed := now.Sub(b.last).Seconds()
+		if elapsed > 0 {
+			b.tokens = math.Min(l.burst, b.tokens+elapsed*l.qps)
+			b.last = now
+		}
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.qps * float64(time.Second))
+	return false, wait
+}
+
+// evictIdleLocked drops buckets that have fully refilled (idle at least
+// burst/qps seconds) once the map is at capacity, bounding limiter memory
+// under an unbounded tenant-name space.
+func (l *tenantLimiter) evictIdleLocked(now time.Time) {
+	if len(l.buckets) < maxTenantBuckets {
+		return
+	}
+	idle := time.Duration(l.burst / l.qps * float64(time.Second))
+	//lint:ignore detrange eviction order never reaches any released bytes; the loop only deletes idle buckets
+	for tenant, b := range l.buckets {
+		if now.Sub(b.last) >= idle {
+			delete(l.buckets, tenant)
+		}
+	}
+}
+
+// retryAfterSeconds estimates when a shed or not-yet-finished request is
+// worth retrying: the work ahead of it (backlog plus the request itself)
+// times the measured average job runtime, spread over the worker count.
+// Before any job has finished the estimate degrades to assuming one second
+// per job. Clamped to [1, 300] so a burst can never tell clients to go away
+// for an hour.
+func (s *Server) retryAfterSeconds(pending int) int {
+	per := s.metrics.avgRuntimeSeconds()
+	if per <= 0 {
+		per = 1
+	}
+	secs := int(math.Ceil(float64(pending+1) * per / float64(s.workers)))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 300 {
+		secs = 300
+	}
+	return secs
+}
+
+// setRetryAfter stamps a computed Retry-After header for the current backlog.
+func (s *Server) setRetryAfter(h interface{ Set(key, value string) }, pending int) {
+	h.Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(pending)))
+}

@@ -44,14 +44,22 @@ func (p Params) cacheKey(body []byte) string {
 // Status is the lifecycle state of a job.
 type Status string
 
-// The four job states. A job moves queued -> running -> done|failed; cache
-// hits are born done.
+// The job states. A job moves queued -> running -> done|failed, looping
+// back to queued while transient failures are retried; cache hits are born
+// done. Quarantined is the poison-job terminal state: retries exhausted, the
+// job kept killing the process, or its stored bytes failed a digest check.
 const (
-	StatusQueued  Status = "queued"
-	StatusRunning Status = "running"
-	StatusDone    Status = "done"
-	StatusFailed  Status = "failed"
+	StatusQueued      Status = "queued"
+	StatusRunning     Status = "running"
+	StatusDone        Status = "done"
+	StatusFailed      Status = "failed"
+	StatusQuarantined Status = "quarantined"
 )
+
+// terminal reports whether a status is final.
+func (s Status) terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusQuarantined
+}
 
 // Result is the outcome of a finished job: the released table(s) as CSV plus
 // the information-loss metrics the evaluation tracks.
@@ -87,6 +95,9 @@ type Result struct {
 type Job struct {
 	ID     string
 	Params Params
+	// Tenant is the X-Tenant header value of the submission ("" when the
+	// client sent none).
+	Tenant string
 
 	mu        sync.Mutex
 	status    Status
@@ -94,6 +105,8 @@ type Job struct {
 	cached    bool
 	submitted time.Time
 	result    *Result
+	// attempts counts execution attempts started (1 on the first run).
+	attempts int
 }
 
 // snapshot returns a consistent copy of the job's mutable state.
@@ -103,10 +116,50 @@ func (j *Job) snapshot() (status Status, errMsg string, cached bool, res *Result
 	return j.status, j.err, j.cached, j.result
 }
 
+// attemptCount returns the number of execution attempts started so far.
+func (j *Job) attemptCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempts
+}
+
 // setRunning marks the job running.
 func (j *Job) setRunning() {
 	j.mu.Lock()
 	j.status = StatusRunning
+	j.mu.Unlock()
+}
+
+// startAttempt marks the job running and returns the new attempt number.
+func (j *Job) startAttempt() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.status = StatusRunning
+	j.attempts++
+	return j.attempts
+}
+
+// setAttempts seeds the attempt counter from the journal during recovery.
+func (j *Job) setAttempts(n int) {
+	j.mu.Lock()
+	j.attempts = n
+	j.mu.Unlock()
+}
+
+// setRetrying parks the job back in the queued state between a transient
+// failure and its retry, keeping the last error visible to status polls.
+func (j *Job) setRetrying(errMsg string) {
+	j.mu.Lock()
+	j.status = StatusQueued
+	j.err = errMsg
+	j.mu.Unlock()
+}
+
+// setQuarantined marks the job as poison with an explanation.
+func (j *Job) setQuarantined(msg string) {
+	j.mu.Lock()
+	j.status = StatusQuarantined
+	j.err = msg
 	j.mu.Unlock()
 }
 
@@ -132,7 +185,9 @@ type jobView struct {
 	ID          string       `json:"id"`
 	Status      Status       `json:"status"`
 	Params      Params       `json:"params"`
+	Tenant      string       `json:"tenant,omitempty"`
 	Cached      bool         `json:"cached"`
+	Attempts    int          `json:"attempts,omitempty"`
 	SubmittedAt time.Time    `json:"submitted_at"`
 	Error       string       `json:"error,omitempty"`
 	Metrics     *metricsView `json:"metrics,omitempty"`
@@ -152,12 +207,15 @@ type metricsView struct {
 
 // view renders the job for JSON encoding.
 func (j *Job) view() jobView {
+	attempts := j.attemptCount()
 	status, errMsg, cached, res := j.snapshot()
 	v := jobView{
 		ID:          j.ID,
 		Status:      status,
 		Params:      j.Params,
+		Tenant:      j.Tenant,
 		Cached:      cached,
+		Attempts:    attempts,
 		SubmittedAt: j.submitted,
 		Error:       errMsg,
 	}

@@ -26,8 +26,42 @@ type serverMetrics struct {
 	verifies       atomic.Int64 // completed release verifications
 	verifyFailures atomic.Int64 // verifications whose verdict was not ok
 
+	// Durability-layer counters (see docs/ARCHITECTURE.md "Durability &
+	// recovery").
+	jobRetries       atomic.Int64 // attempts retried after a transient failure
+	jobsRecovered    atomic.Int64 // jobs restored from the durable store at startup
+	jobsQuarantined  atomic.Int64 // poison or corrupt jobs parked terminally
+	storeErrors      atomic.Int64 // store I/O failures + corrupt journal/data verdicts
+	tenantRejections atomic.Int64 // submissions rejected by per-tenant quotas
+
+	// runtimeEWMA holds math.Float64bits of an exponentially weighted moving
+	// average of job runtimes in seconds; Retry-After computations read it.
+	runtimeEWMA atomic.Uint64
+
 	mu        sync.Mutex
 	latencies map[string]*histogram // algorithm -> job latency histogram
+}
+
+// observeRuntime folds one finished job's runtime into the EWMA that backs
+// queue-depth-aware Retry-After estimates.
+func (m *serverMetrics) observeRuntime(seconds float64) {
+	const alpha = 0.2
+	for {
+		old := m.runtimeEWMA.Load()
+		prev := math.Float64frombits(old)
+		next := seconds
+		if old != 0 {
+			next = (1-alpha)*prev + alpha*seconds
+		}
+		if m.runtimeEWMA.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// avgRuntimeSeconds returns the runtime EWMA, or 0 before any job finished.
+func (m *serverMetrics) avgRuntimeSeconds() float64 {
+	return math.Float64frombits(m.runtimeEWMA.Load())
 }
 
 // latencyBuckets are the histogram upper bounds in seconds, chosen to span
@@ -82,6 +116,11 @@ func (m *serverMetrics) writeTo(w io.Writer) error {
 		{"ldivd_cache_misses_total", "Submissions that had to compute a fresh result.", "counter", m.cacheMisses.Load()},
 		{"ldivd_verifies_total", "Release verifications completed.", "counter", m.verifies.Load()},
 		{"ldivd_verify_failures_total", "Release verifications whose verdict was not ok.", "counter", m.verifyFailures.Load()},
+		{"ldivd_job_retries_total", "Execution attempts retried after a transient failure.", "counter", m.jobRetries.Load()},
+		{"ldivd_jobs_recovered_total", "Jobs restored from the durable store at startup.", "counter", m.jobsRecovered.Load()},
+		{"ldivd_jobs_quarantined_total", "Jobs parked terminally as poison or corrupt.", "counter", m.jobsQuarantined.Load()},
+		{"ldivd_store_errors_total", "Durable-store I/O failures and corrupt journal or data verdicts.", "counter", m.storeErrors.Load()},
+		{"ldivd_tenant_rejections_total", "Submissions rejected by per-tenant token-bucket quotas.", "counter", m.tenantRejections.Load()},
 	}
 	for _, c := range counters {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", c.name, c.help, c.name, c.kind, c.name, c.value); err != nil {

@@ -22,10 +22,12 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -36,6 +38,7 @@ import (
 
 	"ldiv"
 	"ldiv/internal/parallel"
+	"ldiv/internal/store"
 )
 
 // Config tunes a Server. The zero value gets sensible defaults from New.
@@ -58,24 +61,75 @@ type Config struct {
 	// submissions ever made. Queued and running jobs are never evicted.
 	// 0 picks the default (1024), negative retains every job forever.
 	JobRetention int
+
+	// StoreDir enables the crash-safe durable job store: accepted jobs are
+	// journaled (fsync'd) to this directory before the 202 goes out, results
+	// are persisted atomically, and a restart replays the journal — serving
+	// finished results from disk and re-enqueueing interrupted jobs. Empty
+	// disables durability (jobs live only in memory).
+	StoreDir string
+	// JobTimeout bounds a single execution attempt; an attempt that exceeds
+	// it fails the job. 0 disables the deadline.
+	JobTimeout time.Duration
+	// MaxAttempts bounds execution attempts per job: a job whose transient
+	// failures (or process crashes, counted across restarts via the journal)
+	// reach this bound is quarantined as poison instead of retried forever.
+	// 0 picks the default (3); values below 1 mean a single attempt.
+	MaxAttempts int
+	// RetryBaseDelay is the backoff before the first retry of a transient
+	// failure; it doubles per attempt (capped at 10s) with deterministic
+	// jitter. 0 picks the default (100ms).
+	RetryBaseDelay time.Duration
+	// TenantQPS enables per-tenant admission quotas: each distinct X-Tenant
+	// header value (empty maps to "anonymous") gets a token bucket refilled
+	// at this rate, and an empty bucket rejects the submission with 429
+	// before it touches the shared backlog. 0 or negative disables quotas.
+	TenantQPS float64
+	// TenantBurst is the token-bucket capacity; 0 picks ceil(2*TenantQPS),
+	// at least 1.
+	TenantBurst int
+
+	// Clock supplies timestamps (journal records, quota refills); tests
+	// inject a fake. Nil means the wall clock.
+	Clock func() time.Time
+	// FS is the filesystem the durable store writes through; tests inject a
+	// fault-injecting double. Nil means the real filesystem.
+	FS store.FS
 }
 
 // Default Config values applied by New.
 const (
-	DefaultQueueDepth   = 64
-	DefaultCacheEntries = 128
-	DefaultMaxBodyBytes = 64 << 20
-	DefaultJobRetention = 1024
+	DefaultQueueDepth     = 64
+	DefaultCacheEntries   = 128
+	DefaultMaxBodyBytes   = 64 << 20
+	DefaultJobRetention   = 1024
+	DefaultMaxAttempts    = 3
+	DefaultRetryBaseDelay = 100 * time.Millisecond
 )
 
-// Server is the anonymization job server. Create it with New, mount
-// Handler on an http.Server, and Close it to drain.
+// Server is the anonymization job server. Create it with New (or Open, which
+// surfaces store-open failures), mount Handler on an http.Server, and Close
+// it to drain.
 type Server struct {
 	cfg     Config
 	queue   *parallel.Queue
 	cache   *resultCache
 	metrics *serverMetrics
 	mux     *http.ServeMux
+
+	// st is the durable job store; nil when Config.StoreDir is empty.
+	st      *store.Store
+	clock   func() time.Time
+	tenants *tenantLimiter
+	// workers is the normalized worker count, for Retry-After estimates.
+	workers int
+
+	// baseCtx is cancelled by Close to wake retry waits and blocked
+	// re-submissions.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	// retryWG tracks retry and recovery goroutines that may touch the queue.
+	retryWG sync.WaitGroup
 
 	mu       sync.RWMutex
 	jobs     map[string]*Job
@@ -89,8 +143,24 @@ type Server struct {
 	run func(t *ldiv.Table, p Params) (*Result, error)
 }
 
-// New returns a started server with cfg's zero fields defaulted.
+// New returns a started server with cfg's zero fields defaulted. It panics
+// when the durable store cannot be opened; callers that configure StoreDir
+// should prefer Open, which returns the error instead.
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("service: opening the durable store: %v", err))
+	}
+	return s
+}
+
+// Open returns a started server with cfg's zero fields defaulted. When
+// StoreDir is set it opens (or creates) the durable store, replays its
+// journal, restores every journaled job, and re-enqueues the ones a crash
+// interrupted. Corrupt journal entries and unreadable stored data are
+// quarantined — visible via /metrics and job status — never fatal; the only
+// errors Open returns are real I/O failures creating or appending the store.
+func Open(cfg Config) (*Server, error) {
 	if cfg.QueueDepth == 0 {
 		cfg.QueueDepth = DefaultQueueDepth
 	}
@@ -106,13 +176,47 @@ func New(cfg Config) *Server {
 	if cfg.JobRetention == 0 {
 		cfg.JobRetention = DefaultJobRetention
 	}
+	if cfg.MaxAttempts == 0 {
+		cfg.MaxAttempts = DefaultMaxAttempts
+	}
+	if cfg.MaxAttempts < 1 {
+		cfg.MaxAttempts = 1
+	}
+	if cfg.RetryBaseDelay <= 0 {
+		cfg.RetryBaseDelay = DefaultRetryBaseDelay
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		//lint:ignore detrange journal timestamps and quota refills are operational metadata, not release content
+		clock = time.Now
+	}
+	baseCtx, baseCancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:     cfg,
-		queue:   parallel.NewQueue(cfg.Workers, cfg.QueueDepth),
-		cache:   newResultCache(cfg.CacheEntries),
-		metrics: newServerMetrics(),
-		jobs:    make(map[string]*Job),
-		run:     runPrepared,
+		cfg:        cfg,
+		queue:      parallel.NewQueue(cfg.Workers, cfg.QueueDepth),
+		cache:      newResultCache(cfg.CacheEntries),
+		metrics:    newServerMetrics(),
+		clock:      clock,
+		tenants:    newTenantLimiter(cfg.TenantQPS, cfg.TenantBurst, clock),
+		workers:    parallel.WorkerCount(cfg.Workers),
+		baseCtx:    baseCtx,
+		baseCancel: baseCancel,
+		jobs:       make(map[string]*Job),
+		run:        runPrepared,
+	}
+	if cfg.StoreDir != "" {
+		fsys := cfg.FS
+		if fsys == nil {
+			fsys = store.OSFS{}
+		}
+		st, replay, err := store.Open(cfg.StoreDir, fsys)
+		if err != nil {
+			baseCancel()
+			s.queue.Close()
+			return nil, err
+		}
+		s.st = st
+		s.recoverJobs(replay)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -122,7 +226,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
-	return s
+	return s, nil
 }
 
 // Handler returns the server's HTTP handler.
@@ -130,10 +234,19 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Close stops accepting new jobs (submissions fail with HTTP 503) and blocks
 // until every already-accepted job has finished, so no accepted work is ever
-// lost to a graceful shutdown. Idempotent.
+// lost to a graceful shutdown. Pending retries are abandoned rather than
+// waited out — with a durable store the journal still holds those jobs in a
+// non-terminal state, so the next start re-enqueues them. Idempotent.
 func (s *Server) Close() {
 	s.draining.Store(true)
-	s.closeOnce.Do(s.queue.Close)
+	s.closeOnce.Do(func() {
+		s.baseCancel()
+		s.retryWG.Wait()
+		s.queue.Close()
+		if s.st != nil {
+			_ = s.st.Close()
+		}
+	})
 }
 
 // apiError is the JSON error envelope of every non-2xx response.
@@ -297,7 +410,9 @@ func runPrepared(t *ldiv.Table, p Params) (*Result, error) {
 }
 
 // handleSubmit accepts a CSV body plus query parameters, validates both, and
-// either answers immediately from the result cache or enqueues a job.
+// either answers immediately from a memoized result or enqueues a job. With a
+// durable store configured, the acceptance journal record is fsync'd before
+// the 202 goes out: an acknowledged job survives any crash after that point.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "shutting_down", "the server is draining and accepts no new jobs")
@@ -306,6 +421,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	params, perr := parseParams(r.URL.Query())
 	if perr != nil {
 		writeError(w, http.StatusBadRequest, perr.Code, perr.Message)
+		return
+	}
+	tenant := r.Header.Get("X-Tenant")
+	if ok, wait := s.tenants.admit(tenant); !ok {
+		s.metrics.tenantRejections.Add(1)
+		secs := int(math.Ceil(wait.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests, "tenant_quota",
+			fmt.Sprintf("tenant %q is over its admission quota; retry in %ds", tenant, secs))
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
@@ -326,19 +453,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	key := params.cacheKey(body)
 	if res, ok := s.cache.get(key); ok {
-		// The job is born done; all fields are set before register publishes
-		// it, so no concurrent reader can observe a half-initialized job.
-		job := s.newJob(params)
-		job.cached = true
-		job.status = StatusDone
-		job.result = res
-		s.register(job)
-		s.finishJob(job.ID)
-		s.metrics.jobsSubmitted.Add(1)
-		s.metrics.jobsDone.Add(1)
-		s.metrics.cacheHits.Add(1)
-		writeJSON(w, http.StatusOK, job.view())
+		s.answerMemoized(w, params, tenant, body, key, res)
 		return
+	}
+	// The disk store outlives the LRU: results computed before a restart (or
+	// evicted from the cache) still answer without recomputing.
+	if s.st != nil && s.st.HasResult(key) {
+		if res, err := s.loadResult(key); err == nil {
+			s.cache.put(key, res)
+			s.answerMemoized(w, params, tenant, body, key, res)
+			return
+		}
+		s.metrics.storeErrors.Add(1)
 	}
 	s.metrics.cacheMisses.Add(1)
 
@@ -353,41 +479,89 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	job := s.newJob(params)
+	job.Tenant = tenant
 	s.register(job)
-	task := func() {
-		s.metrics.jobsQueued.Add(-1)
-		s.metrics.jobsRunning.Add(1)
-		defer s.metrics.jobsRunning.Add(-1)
-		job.setRunning()
-		res, err := s.runSafely(t, params)
-		if err != nil {
-			job.setFailed(err.Error())
-			s.finishJob(job.ID)
-			s.metrics.jobsFailed.Add(1)
+	if s.st != nil {
+		// Acknowledge-before-202: body first (content-addressed, idempotent),
+		// then the fsync'd accept record. A failure here must not acknowledge
+		// anything — the client gets a 500 and owns the retry.
+		if err := s.acceptDurably(job, key, body); err != nil {
+			s.metrics.storeErrors.Add(1)
+			s.dropJob(job.ID)
+			writeError(w, http.StatusInternalServerError, "store_error",
+				fmt.Sprintf("the job could not be made durable: %v", err))
 			return
 		}
-		job.setDone(res)
-		s.finishJob(job.ID)
-		s.cache.put(key, res)
-		s.metrics.jobsDone.Add(1)
-		s.metrics.rowsAnonymized.Add(int64(res.Rows))
-		s.metrics.observeLatency(params.Algorithm, res.Runtime.Seconds())
 	}
 	s.metrics.jobsQueued.Add(1)
-	if !s.queue.TrySubmit(task) {
+	if !s.queue.TrySubmit(func() { s.runJobOnce(job, t, key) }) {
 		s.metrics.jobsQueued.Add(-1)
 		s.metrics.jobsRejected.Add(1)
 		s.dropJob(job.ID)
+		s.journal(store.Record{Op: store.OpShed, ID: job.ID, Unix: s.nowUnixMilli()})
 		if s.draining.Load() {
 			writeError(w, http.StatusServiceUnavailable, "shutting_down", "the server is draining and accepts no new jobs")
 			return
 		}
+		s.setRetryAfter(w.Header(), s.queue.Backlog())
 		writeError(w, http.StatusTooManyRequests, "queue_full",
 			fmt.Sprintf("the job backlog is full (%d waiting); retry later", s.queue.Backlog()))
 		return
 	}
 	s.metrics.jobsSubmitted.Add(1)
 	writeJSON(w, http.StatusAccepted, job.view())
+}
+
+// answerMemoized responds 200 with a born-done job wrapping an already
+// computed result. All fields are set before register publishes the job, so
+// no concurrent reader can observe it half-initialized. With a store, the
+// job is journaled terminal-from-birth so its status survives a restart.
+func (s *Server) answerMemoized(w http.ResponseWriter, params Params, tenant string, body []byte, key string, res *Result) {
+	job := s.newJob(params)
+	job.Tenant = tenant
+	job.cached = true
+	job.status = StatusDone
+	job.result = res
+	s.register(job)
+	s.finishJob(job.ID)
+	if s.st != nil {
+		if err := s.acceptDurably(job, key, body); err != nil {
+			s.metrics.storeErrors.Add(1)
+		} else {
+			if !s.st.HasResult(key) {
+				if err := s.persistResult(key, res); err != nil {
+					s.metrics.storeErrors.Add(1)
+				}
+			}
+			s.journal(store.Record{Op: store.OpDone, ID: job.ID, Key: key, Unix: s.nowUnixMilli()})
+		}
+	}
+	s.metrics.jobsSubmitted.Add(1)
+	s.metrics.jobsDone.Add(1)
+	s.metrics.cacheHits.Add(1)
+	writeJSON(w, http.StatusOK, job.view())
+}
+
+// acceptDurably persists a submission's body and appends the fsync'd accept
+// record that makes the job crash-safe.
+func (s *Server) acceptDurably(job *Job, key string, body []byte) error {
+	digest, err := s.st.PutBody(body)
+	if err != nil {
+		return err
+	}
+	paramsJSON, err := json.Marshal(job.Params)
+	if err != nil {
+		return err
+	}
+	return s.st.Append(store.Record{
+		Op:     store.OpAccept,
+		ID:     job.ID,
+		Key:    key,
+		Body:   digest,
+		Params: paramsJSON,
+		Tenant: job.Tenant,
+		Unix:   s.nowUnixMilli(),
+	})
 }
 
 // runSafely executes a job, converting panics into errors so one bad input
@@ -475,8 +649,13 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	case StatusFailed:
 		writeError(w, http.StatusConflict, "job_failed", errMsg)
 		return
+	case StatusQuarantined:
+		writeError(w, http.StatusConflict, "job_quarantined", errMsg)
+		return
 	case StatusQueued, StatusRunning:
-		w.Header().Set("Retry-After", "1")
+		// Estimate when the job will plausibly be done from the backlog ahead
+		// of it and the measured average runtime, instead of a flat guess.
+		s.setRetryAfter(w.Header(), s.queue.Backlog())
 		writeError(w, http.StatusConflict, "job_not_done", fmt.Sprintf("job %s is %s", job.ID, status))
 		return
 	}

@@ -88,7 +88,7 @@ func awaitDone(t *testing.T, ts *httptest.Server, id string) jobView {
 		if code := getJSON(t, ts, "/v1/jobs/"+id, &view); code != http.StatusOK {
 			t.Fatalf("status endpoint returned %d", code)
 		}
-		if view.Status == StatusDone || view.Status == StatusFailed {
+		if view.Status.terminal() {
 			return view
 		}
 		time.Sleep(2 * time.Millisecond)

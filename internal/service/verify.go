@@ -115,6 +115,9 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	if err := r.ParseMultipartForm(s.cfg.MaxBodyBytes); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
+			// A 413 is permanent for this body, but clients that shrink and
+			// resubmit still benefit from knowing the current backlog delay.
+			s.setRetryAfter(w.Header(), s.queue.Backlog())
 			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
 				fmt.Sprintf("request body exceeds the %d-byte limit", tooLarge.Limit))
 			return
@@ -200,6 +203,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusServiceUnavailable, "shutting_down", "the server is draining and accepts no new work")
 			return
 		}
+		s.setRetryAfter(w.Header(), s.queue.Backlog())
 		writeError(w, http.StatusTooManyRequests, "queue_full",
 			fmt.Sprintf("the job backlog is full (%d waiting); retry later", s.queue.Backlog()))
 		return

@@ -1,0 +1,147 @@
+package store
+
+import (
+	"fmt"
+	"io/fs"
+	"strings"
+	"sync"
+)
+
+// faultFS wraps a real FS and injects errors at chosen operations, so tests
+// can prove the store's behavior at every point a disk could fail. A rule
+// matches an operation name ("write", "sync", "rename", "create",
+// "openappend", "readfile", "truncate", "syncdir", "stat", "remove") and a
+// path substring.
+type faultFS struct {
+	real FS
+
+	mu    sync.Mutex
+	rules []faultRule
+}
+
+type faultRule struct {
+	op     string
+	substr string
+	err    error
+}
+
+func newFaultFS(real FS) *faultFS { return &faultFS{real: real} }
+
+// fail makes every matching operation return err until the rule is cleared.
+func (f *faultFS) fail(op, substr string, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, faultRule{op: op, substr: substr, err: err})
+}
+
+// clear removes every injected rule.
+func (f *faultFS) clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = nil
+}
+
+func (f *faultFS) check(op, path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range f.rules {
+		if r.op == op && strings.Contains(path, r.substr) {
+			return fmt.Errorf("faultfs: injected %s failure on %s: %w", op, path, r.err)
+		}
+	}
+	return nil
+}
+
+func (f *faultFS) MkdirAll(path string) error {
+	if err := f.check("mkdirall", path); err != nil {
+		return err
+	}
+	return f.real.MkdirAll(path)
+}
+
+func (f *faultFS) OpenAppend(path string) (File, error) {
+	if err := f.check("openappend", path); err != nil {
+		return nil, err
+	}
+	file, err := f.real.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, path: path, real: file}, nil
+}
+
+func (f *faultFS) Create(path string) (File, error) {
+	if err := f.check("create", path); err != nil {
+		return nil, err
+	}
+	file, err := f.real.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, path: path, real: file}, nil
+}
+
+func (f *faultFS) ReadFile(path string) ([]byte, error) {
+	if err := f.check("readfile", path); err != nil {
+		return nil, err
+	}
+	return f.real.ReadFile(path)
+}
+
+func (f *faultFS) Rename(oldpath, newpath string) error {
+	if err := f.check("rename", newpath); err != nil {
+		return err
+	}
+	return f.real.Rename(oldpath, newpath)
+}
+
+func (f *faultFS) Remove(path string) error {
+	if err := f.check("remove", path); err != nil {
+		return err
+	}
+	return f.real.Remove(path)
+}
+
+func (f *faultFS) Stat(path string) (fs.FileInfo, error) {
+	if err := f.check("stat", path); err != nil {
+		return nil, err
+	}
+	return f.real.Stat(path)
+}
+
+func (f *faultFS) Truncate(path string, size int64) error {
+	if err := f.check("truncate", path); err != nil {
+		return err
+	}
+	return f.real.Truncate(path, size)
+}
+
+func (f *faultFS) SyncDir(path string) error {
+	if err := f.check("syncdir", path); err != nil {
+		return err
+	}
+	return f.real.SyncDir(path)
+}
+
+// faultFile applies write/sync rules to one open file.
+type faultFile struct {
+	fs   *faultFS
+	path string
+	real File
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if err := f.fs.check("write", f.path); err != nil {
+		return 0, err
+	}
+	return f.real.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if err := f.fs.check("sync", f.path); err != nil {
+		return err
+	}
+	return f.real.Sync()
+}
+
+func (f *faultFile) Close() error { return f.real.Close() }

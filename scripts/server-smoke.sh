@@ -1,8 +1,10 @@
 #!/bin/sh
-# server-smoke.sh builds ldivd, starts it, runs one job through the full
-# submit -> poll -> result round trip with curl, checks /healthz and /metrics,
-# and shuts the daemon down gracefully. CI runs this on every push so the
-# served path cannot rot. Requires: go, curl.
+# server-smoke.sh builds ldivd, starts it with a durable store, runs one job
+# through the full submit -> poll -> result round trip with curl, checks
+# /healthz and /metrics, kills the daemon with SIGKILL and asserts the
+# restarted daemon recovers every acknowledged job from the store, then shuts
+# it down gracefully. CI runs this on every push so neither the served path
+# nor crash recovery can rot. Requires: go, curl.
 set -eu
 
 PORT="${LDIVD_SMOKE_PORT:-8356}"
@@ -22,20 +24,25 @@ trap cleanup EXIT INT TERM
 echo "smoke: building ldivd"
 go build -o "$BIN" ./cmd/ldivd
 
-"$BIN" -addr "127.0.0.1:$PORT" >"$TMP/ldivd.log" 2>&1 &
-LDIVD_PID=$!
+STORE_DIR="$TMP/store"
 
-echo "smoke: waiting for /healthz"
-i=0
-until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
-    i=$((i + 1))
-    if [ "$i" -ge 50 ]; then
-        echo "smoke: server never became healthy" >&2
-        cat "$TMP/ldivd.log" >&2
-        exit 1
-    fi
-    sleep 0.2
-done
+start_ldivd() {
+    "$BIN" -addr "127.0.0.1:$PORT" -store-dir "$STORE_DIR" >>"$TMP/ldivd.log" 2>&1 &
+    LDIVD_PID=$!
+    i=0
+    until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 50 ]; then
+            echo "smoke: server never became healthy" >&2
+            cat "$TMP/ldivd.log" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+
+echo "smoke: starting ldivd (store: $STORE_DIR)"
+start_ldivd
 
 cat >"$TMP/smoke.csv" <<'EOF'
 Age,Gender,Disease
@@ -126,6 +133,71 @@ printf '%s\n' "$METRICS" | grep -q '^ldivd_jobs_done_total 1$' || {
 }
 printf '%s\n' "$METRICS" | grep -q '^ldivd_verifies_total 2$' || {
     echo "smoke: metrics do not report the verifications" >&2
+    exit 1
+}
+
+echo "smoke: crash recovery — submit, SIGKILL, restart, poll"
+cat >"$TMP/crash.csv" <<'EOF'
+Age,Gender,Disease
+31,M,flu
+31,F,cold
+41,M,flu
+41,F,cold
+51,M,angina
+51,F,flu
+61,M,cold
+61,F,angina
+EOF
+SUBMIT="$(curl -fsS -X POST --data-binary @"$TMP/crash.csv" \
+    "$BASE/v1/jobs?algo=tp%2B&l=2&qi=Age,Gender&sa=Disease")"
+CRASH_ID="$(printf '%s' "$SUBMIT" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+if [ -z "$CRASH_ID" ]; then
+    echo "smoke: no job id in crash-leg response: $SUBMIT" >&2
+    exit 1
+fi
+kill -9 "$LDIVD_PID"
+wait "$LDIVD_PID" 2>/dev/null || true
+unset LDIVD_PID
+
+start_ldivd
+i=0
+while :; do
+    STATUS_JSON="$(curl -fsS "$BASE/v1/jobs/$CRASH_ID")" || {
+        echo "smoke: acknowledged job $CRASH_ID vanished after the crash" >&2
+        exit 1
+    }
+    case "$STATUS_JSON" in
+    *'"status":"done"'*) break ;;
+    *'"status":"failed"'* | *'"status":"quarantined"'*)
+        echo "smoke: job $CRASH_ID did not recover: $STATUS_JSON" >&2
+        exit 1
+        ;;
+    esac
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "smoke: job $CRASH_ID never finished after restart: $STATUS_JSON" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+CRASH_RESULT="$(curl -fsS "$BASE/v1/jobs/$CRASH_ID/result")"
+case "$CRASH_RESULT" in
+Age,Gender,Disease*) : ;;
+*)
+    echo "smoke: unexpected recovered result header: $CRASH_RESULT" >&2
+    exit 1
+    ;;
+esac
+# The pre-crash job must also survive, byte-identical.
+RESULT2="$(curl -fsS "$BASE/v1/jobs/$JOB_ID/result")"
+if [ "$RESULT2" != "$RESULT" ]; then
+    echo "smoke: the pre-crash job's result changed across the restart" >&2
+    exit 1
+fi
+METRICS="$(curl -fsS "$BASE/metrics")"
+printf '%s\n' "$METRICS" | grep -q '^ldivd_jobs_recovered_total [1-9]' || {
+    echo "smoke: metrics do not report recovered jobs after the crash" >&2
+    printf '%s\n' "$METRICS" | grep '^ldivd_jobs' >&2 || true
     exit 1
 }
 
