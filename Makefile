@@ -8,7 +8,7 @@ CORE_BENCH := BenchmarkAnonymize|BenchmarkPhase3Heavy|BenchmarkTPCore|BenchmarkT
 # with, and the end-to-end anonymization that sits on top of them.
 TABLE_BENCH := BenchmarkTableOps|BenchmarkGroupByQI|BenchmarkAnonymize$$
 
-.PHONY: all build test race bench bench-table bench-table-smoke bench-smoke fmt vet lint run-server smoke-server docs-lint fuzz-smoke cover
+.PHONY: all build test race bench bench-table bench-table-smoke bench-smoke loadtest-smoke bench-compare fmt vet lint run-server smoke-server docs-lint fuzz-smoke cover
 
 all: build test lint
 
@@ -44,9 +44,25 @@ bench-table-smoke:
 	$(GO) test -run '^$$' -bench '$(TABLE_BENCH)' -benchmem -benchtime 1x .
 
 # bench-smoke executes every benchmark exactly once so benchmark code cannot
-# rot unnoticed; CI runs this on every push.
+# rot unnoticed; CI runs this on every push. BENCHFLAGS forwards extra go test
+# flags: `make bench-smoke BENCHFLAGS=-short` skips the figure-matrix
+# benchmarks (each regenerates a whole experiment grid) and keeps the
+# micro-benchmarks.
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) test -run '^$$' -bench . -benchtime 1x $(BENCHFLAGS) ./...
+
+# loadtest-smoke drives the ldivload smoke scenario — thousands of concurrent
+# submit -> poll -> result -> verify round trips against an in-process ldivd —
+# for LOADTEST_DURATION (default 10s), writes bench/BENCH_smoke.json, gates it
+# against the checked-in baseline in bench/baselines/, and proves the gate by
+# injecting a synthetic regression that must fail. CI runs this on every push.
+loadtest-smoke:
+	./scripts/loadtest-smoke.sh
+
+# bench-compare gates two BENCH_*.json files produced by cmd/ldivload:
+# `make bench-compare OLD=bench/baselines/BENCH_smoke.json NEW=bench/BENCH_smoke.json`
+bench-compare:
+	./scripts/bench-compare.sh $(OLD) $(NEW)
 
 fmt:
 	gofmt -l .

@@ -1,0 +1,414 @@
+// Command ldivload is the load-test harness for ldivd: it drives concurrent
+// submit -> poll -> result -> verify round trips against a server (an
+// in-process one by default, a real deployment via -addr), and writes a
+// machine-readable BENCH_<scenario>.json report — throughput, latency
+// percentiles, the client- and server-side error taxonomy, and sampled
+// byte-equivalence verdicts against the library oracle. See internal/loadgen
+// for the harness and docs/ARCHITECTURE.md "Load testing" for the schema.
+//
+// Usage:
+//
+//	ldivload                                   # run the smoke scenario in-process
+//	ldivload -scenario sustained -out bench    # a named scenario
+//	ldivload -matrix                           # every algorithm/l/size/tenant/store cell
+//	ldivload -addr http://host:8080            # drive a real deployment
+//	ldivload -list                             # print the scenario catalog
+//	ldivload -compare old.json -against new.json   # regression gate (exit 1 on regressions)
+//	ldivload -degrade in.json -factor 4 -o out.json # inject a synthetic regression
+//
+// Exit status: 0 on success, 1 when the run had correctness failures (lost
+// jobs, audit violations, oracle mismatches) or the comparison found
+// regressions, 2 on usage errors.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ldiv/internal/loadgen"
+	"ldiv/internal/service"
+)
+
+// options is the parsed and validated command line of ldivload.
+type options struct {
+	// run mode
+	addr     string
+	scenario string
+	matrix   bool
+	list     bool
+	outDir   string
+
+	// scenario overrides (zero = keep the scenario's value)
+	duration    time.Duration
+	rows        int
+	l           int
+	algo        string
+	tenants     int
+	concurrency int
+	rate        float64
+	roundTrips  int64
+	bodies      int
+	sample      int64
+	seed        int64
+
+	// in-process server shape
+	workers  int
+	queue    int
+	storeDir string
+
+	// compare mode
+	compare       string
+	against       string
+	maxP99Regress float64
+	maxTputRegres float64
+
+	// degrade mode
+	degrade string
+	factor  float64
+	degOut  string
+}
+
+// errFlagParse marks errors the ContinueOnError FlagSet has already printed
+// (together with the usage text and flag defaults), so main exits without
+// repeating them.
+var errFlagParse = errors.New("flag parse error")
+
+// parseOptions parses and validates the command line. The returned FlagSet
+// lets main print the usage text (including every flag default) when
+// validation fails.
+func parseOptions(args []string) (options, *flag.FlagSet, error) {
+	fs := flag.NewFlagSet("ldivload", flag.ContinueOnError)
+	addr := fs.String("addr", "", "base URL of a running ldivd (e.g. http://localhost:8080); empty starts an in-process server")
+	scenario := fs.String("scenario", "smoke", "named scenario to run (see -list)")
+	matrix := fs.Bool("matrix", false, "run every cell of the algorithm × l × size × tenants × store matrix")
+	list := fs.Bool("list", false, "print the scenario catalog and exit")
+	outDir := fs.String("out", "bench", "directory BENCH_<scenario>.json files are written to")
+
+	duration := fs.Duration("duration", 0, "override the scenario's submission-phase duration")
+	rows := fs.Int("rows", 0, "override the scenario's table row count")
+	l := fs.Int("l", 0, "override the scenario's diversity parameter")
+	algo := fs.String("algo", "", "override the scenario's algorithm")
+	tenants := fs.Int("tenants", 0, "override the scenario's tenant count")
+	concurrency := fs.Int("concurrency", 0, "override the scenario's worker count / in-flight cap")
+	rate := fs.Float64("rate", 0, "override to an open loop at this many submissions per second")
+	roundTrips := fs.Int64("round-trips", 0, "stop after exactly this many round trips instead of -duration")
+	bodies := fs.Int("bodies", 0, "override the scenario's unique-body pool size")
+	sample := fs.Int64("sample", 0, "override the scenario's verify sampling (audit every Nth result)")
+	seed := fs.Int64("seed", 0, "override the scenario's table-generation seed")
+
+	workers := fs.Int("workers", 0, "in-process server: concurrent anonymization jobs; 0 means one per CPU")
+	queue := fs.Int("queue", service.DefaultQueueDepth, "in-process server: job backlog bound")
+	storeDir := fs.String("store-dir", "", "in-process server: durable job-store directory for Store scenarios; empty uses a temp dir")
+
+	compare := fs.String("compare", "", "baseline BENCH file; compares -against to it and exits 1 on regressions")
+	against := fs.String("against", "", "new BENCH file for -compare")
+	maxP99 := fs.Float64("max-p99-regress", loadgen.DefaultMaxRegressPct, "p99 latency regression tolerance, percent")
+	maxTput := fs.Float64("max-tput-regress", loadgen.DefaultMaxRegressPct, "throughput regression tolerance, percent")
+
+	degrade := fs.String("degrade", "", "BENCH file to copy with a synthetic perf regression injected (for gate self-tests)")
+	factor := fs.Float64("factor", 4, "degradation factor for -degrade (p99 multiplied, throughput divided)")
+	degOut := fs.String("o", "", "output path for -degrade")
+
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return options{}, fs, err
+		}
+		return options{}, fs, fmt.Errorf("%w: %v", errFlagParse, err)
+	}
+	if *compare != "" && *against == "" {
+		return options{}, fs, errors.New("-compare needs -against NEW.json")
+	}
+	if *against != "" && *compare == "" {
+		return options{}, fs, errors.New("-against needs -compare OLD.json")
+	}
+	if *degrade != "" && *degOut == "" {
+		return options{}, fs, errors.New("-degrade needs -o OUT.json")
+	}
+	if *degrade != "" && *factor <= 1 {
+		return options{}, fs, fmt.Errorf("invalid -factor %v: must be > 1 to be a regression", *factor)
+	}
+	if *maxP99 <= 0 || *maxTput <= 0 {
+		return options{}, fs, errors.New("regression tolerances must be positive")
+	}
+	if *rate < 0 || *rows < 0 || *l < 0 || *tenants < 0 || *concurrency < 0 ||
+		*roundTrips < 0 || *bodies < 0 || *sample < 0 || *duration < 0 {
+		return options{}, fs, errors.New("scenario overrides must be non-negative")
+	}
+	if *matrix && *addr == "" && *storeDir != "" {
+		return options{}, fs, errors.New("-store-dir conflicts with -matrix: every disk cell would share one journal; let each cell use its own temp dir")
+	}
+	if *queue < 0 {
+		return options{}, fs, fmt.Errorf("invalid -queue %d: must be non-negative", *queue)
+	}
+	if _, ok := loadgen.NamedScenario(*scenario); !ok && !*matrix && !*list && *compare == "" && *degrade == "" {
+		return options{}, fs, fmt.Errorf("unknown scenario %q; -list prints the catalog", *scenario)
+	}
+	return options{
+		addr: *addr, scenario: *scenario, matrix: *matrix, list: *list, outDir: *outDir,
+		duration: *duration, rows: *rows, l: *l, algo: *algo, tenants: *tenants,
+		concurrency: *concurrency, rate: *rate, roundTrips: *roundTrips,
+		bodies: *bodies, sample: *sample, seed: *seed,
+		workers: *workers, queue: *queue, storeDir: *storeDir,
+		compare: *compare, against: *against, maxP99Regress: *maxP99, maxTputRegres: *maxTput,
+		degrade: *degrade, factor: *factor, degOut: *degOut,
+	}, fs, nil
+}
+
+// applyOverrides folds the override flags into a scenario.
+func applyOverrides(sc loadgen.Scenario, opts options) loadgen.Scenario {
+	if opts.duration > 0 {
+		sc.Duration = opts.duration
+	}
+	if opts.rows > 0 {
+		sc.Rows = opts.rows
+	}
+	if opts.l > 0 {
+		sc.L = opts.l
+	}
+	if opts.algo != "" {
+		sc.Algorithm = opts.algo
+	}
+	if opts.tenants > 0 {
+		sc.Tenants = opts.tenants
+	}
+	if opts.concurrency > 0 {
+		sc.Concurrency = opts.concurrency
+	}
+	if opts.rate > 0 {
+		sc.RatePerSec = opts.rate
+	}
+	if opts.roundTrips > 0 {
+		sc.RoundTrips = opts.roundTrips
+	}
+	if opts.bodies > 0 {
+		sc.UniqueBodies = opts.bodies
+	}
+	if opts.sample > 0 {
+		sc.SampleEvery = opts.sample
+	}
+	if opts.seed != 0 {
+		sc.Seed = opts.seed
+	}
+	return sc
+}
+
+// runCompare is the regression gate: exit 1 (regressions found), 0 (pass).
+func runCompare(opts options) (int, error) {
+	oldRep, err := loadgen.ReadBenchFile(opts.compare)
+	if err != nil {
+		return 0, err
+	}
+	newRep, err := loadgen.ReadBenchFile(opts.against)
+	if err != nil {
+		return 0, err
+	}
+	regs := loadgen.Compare(oldRep, newRep, loadgen.CompareOptions{
+		MaxP99RegressPct:        opts.maxP99Regress,
+		MaxThroughputRegressPct: opts.maxTputRegres,
+	})
+	if len(regs) > 0 {
+		log.Printf("FAIL: %s vs %s:", opts.against, opts.compare)
+		for _, reg := range regs {
+			log.Printf("  - %s", reg)
+		}
+		return 1, nil
+	}
+	log.Printf("ok: %s within tolerance of %s (p99 %.3fms vs %.3fms, %.2f rps vs %.2f rps)",
+		opts.against, opts.compare,
+		newRep.LatencyMS.P99, oldRep.LatencyMS.P99,
+		newRep.Throughput.RPS, oldRep.Throughput.RPS)
+	return 0, nil
+}
+
+// runDegrade copies a BENCH file with a synthetic regression injected.
+func runDegrade(opts options) error {
+	rep, err := loadgen.ReadBenchFile(opts.degrade)
+	if err != nil {
+		return err
+	}
+	bad := loadgen.Degrade(rep, opts.factor)
+	f, err := os.Create(opts.degOut)
+	if err != nil {
+		return err
+	}
+	if err := loadgen.WriteBench(f, bad); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	log.Printf("wrote %s: %s degraded %gx", opts.degOut, opts.degrade, opts.factor)
+	return nil
+}
+
+// serverFor returns the base URL the scenario should run against, starting an
+// in-process server when -addr is empty, plus a cleanup function.
+func serverFor(sc loadgen.Scenario, opts options) (string, func(), error) {
+	if opts.addr != "" {
+		return opts.addr, func() {}, nil
+	}
+	queueDepth := opts.queue
+	if queueDepth == 0 {
+		queueDepth = -1 // the CLI's 0 means "no backlog", Config's 0 means default
+	}
+	cfg := service.Config{
+		Workers:    opts.workers,
+		QueueDepth: queueDepth,
+		// Retain every finished job: the harness polls each accepted job to a
+		// terminal state, and an eviction 404 would masquerade as a lost job.
+		JobRetention: -1,
+	}
+	cleanupDir := func() {}
+	if sc.Store {
+		dir := opts.storeDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "ldivload-store-*")
+			if err != nil {
+				return "", nil, err
+			}
+			dir = tmp
+			cleanupDir = func() { os.RemoveAll(tmp) }
+		}
+		cfg.StoreDir = dir
+	}
+	svc, err := service.Open(cfg)
+	if err != nil {
+		cleanupDir()
+		return "", nil, fmt.Errorf("starting the in-process server: %w", err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	cleanup := func() {
+		ts.Close()
+		svc.Close()
+		cleanupDir()
+	}
+	return ts.URL, cleanup, nil
+}
+
+// runScenario drives one scenario and writes its BENCH file. The returned
+// exit code is 1 when the run had correctness failures.
+func runScenario(ctx context.Context, sc loadgen.Scenario, opts options) (int, error) {
+	sc = applyOverrides(sc, opts)
+	baseURL, cleanup, err := serverFor(sc, opts)
+	if err != nil {
+		return 0, err
+	}
+	defer cleanup()
+
+	runner := &loadgen.Runner{
+		BaseURL:  baseURL,
+		Scenario: sc,
+		Logf:     log.Printf,
+	}
+	rep, err := runner.Run(ctx)
+	if err != nil {
+		return 0, err
+	}
+
+	if err := os.MkdirAll(opts.outDir, 0o755); err != nil {
+		return 0, err
+	}
+	path := filepath.Join(opts.outDir, loadgen.BenchFileName(sc.Name))
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	if err := loadgen.WriteBench(f, rep); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	log.Printf("wrote %s", path)
+
+	code := 0
+	if rep.Errors.LostJobs > 0 {
+		log.Printf("FAIL: %d acknowledged jobs never reached a terminal state", rep.Errors.LostJobs)
+		code = 1
+	}
+	if rep.Verify.AuditViolations > 0 {
+		log.Printf("FAIL: %d of %d sampled results failed the audit verdict", rep.Verify.AuditViolations, rep.Verify.Sampled)
+		code = 1
+	}
+	if rep.Verify.OracleMismatch > 0 {
+		log.Printf("FAIL: %d of %d sampled results were not byte-identical to the library oracle", rep.Verify.OracleMismatch, rep.Verify.Sampled)
+		code = 1
+	}
+	return code, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ldivload: ")
+
+	opts, fs, err := parseOptions(os.Args[1:])
+	if err != nil {
+		if err == flag.ErrHelp {
+			return
+		}
+		if !errors.Is(err, errFlagParse) {
+			fmt.Fprintln(os.Stderr, "ldivload:", err)
+			fs.Usage()
+		}
+		os.Exit(2)
+	}
+
+	switch {
+	case opts.list:
+		for _, name := range loadgen.ScenarioNames() {
+			sc, _ := loadgen.NamedScenario(name)
+			fmt.Printf("%-16s algo=%-8s l=%d rows=%-5d tenants=%-2d conc=%-2d %s\n",
+				name, sc.Algorithm, sc.L, sc.Rows, sc.Tenants, sc.Concurrency, loopModel(sc))
+		}
+		fmt.Printf("matrix           %d generated cells (-matrix)\n", len(loadgen.Matrix()))
+		return
+	case opts.compare != "":
+		code, err := runCompare(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Exit(code)
+	case opts.degrade != "":
+		if err := runDegrade(opts); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	ctx := context.Background()
+	scenarios := []loadgen.Scenario{}
+	if opts.matrix {
+		scenarios = loadgen.Matrix()
+	} else {
+		sc, _ := loadgen.NamedScenario(opts.scenario)
+		scenarios = append(scenarios, sc)
+	}
+	exit := 0
+	for _, sc := range scenarios {
+		code, err := runScenario(ctx, sc, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if code > exit {
+			exit = code
+		}
+	}
+	os.Exit(exit)
+}
+
+// loopModel renders a scenario's loop for -list.
+func loopModel(sc loadgen.Scenario) string {
+	if sc.RatePerSec > 0 {
+		return fmt.Sprintf("open loop @ %g/s over %s", sc.RatePerSec, sc.Duration)
+	}
+	return fmt.Sprintf("closed loop over %s", sc.Duration)
+}

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ldiv/internal/loadgen"
+)
+
+func TestParseOptions(t *testing.T) {
+	tests := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{name: "defaults", args: nil},
+		{name: "named scenario", args: []string{"-scenario", "sustained"}},
+		{name: "unknown scenario", args: []string{"-scenario", "nope"}, wantErr: "unknown scenario"},
+		{name: "unknown scenario fine with list", args: []string{"-scenario", "nope", "-list"}},
+		{name: "matrix ignores scenario", args: []string{"-scenario", "nope", "-matrix"}},
+		{name: "compare pair", args: []string{"-compare", "a.json", "-against", "b.json"}},
+		{name: "compare without against", args: []string{"-compare", "a.json"}, wantErr: "-against"},
+		{name: "against without compare", args: []string{"-against", "b.json"}, wantErr: "-compare"},
+		{name: "degrade without out", args: []string{"-degrade", "a.json"}, wantErr: "-o"},
+		{name: "degrade ok", args: []string{"-degrade", "a.json", "-o", "b.json"}},
+		{name: "degrade factor too small", args: []string{"-degrade", "a.json", "-o", "b.json", "-factor", "1"}, wantErr: "-factor"},
+		{name: "negative tolerance", args: []string{"-compare", "a.json", "-against", "b.json", "-max-p99-regress", "-5"}, wantErr: "tolerances"},
+		{name: "negative override", args: []string{"-rows", "-1"}, wantErr: "non-negative"},
+		{name: "negative queue", args: []string{"-queue", "-2"}, wantErr: "-queue"},
+		{name: "matrix with shared store dir", args: []string{"-matrix", "-store-dir", "/tmp/x"}, wantErr: "-store-dir"},
+		{name: "overrides", args: []string{"-duration", "1s", "-rows", "100", "-l", "2", "-tenants", "3", "-rate", "50"}},
+		{name: "bad flag", args: []string{"-no-such-flag"}, wantErr: "flag parse error"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := parseOptions(tc.args)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("parseOptions(%v) = %v, want nil", tc.args, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("parseOptions(%v) = %v, want error containing %q", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestApplyOverrides(t *testing.T) {
+	base, _ := loadgen.NamedScenario("smoke")
+	opts := options{
+		duration: time.Second, rows: 123, l: 2, algo: "mondrian",
+		tenants: 5, concurrency: 3, rate: 9.5, roundTrips: 42,
+		bodies: 4, sample: 2, seed: 77,
+	}
+	sc := applyOverrides(base, opts)
+	if sc.Duration != time.Second || sc.Rows != 123 || sc.L != 2 || sc.Algorithm != "mondrian" ||
+		sc.Tenants != 5 || sc.Concurrency != 3 || sc.RatePerSec != 9.5 || sc.RoundTrips != 42 ||
+		sc.UniqueBodies != 4 || sc.SampleEvery != 2 || sc.Seed != 77 {
+		t.Errorf("overrides not applied: %+v", sc)
+	}
+	// Zero overrides keep the scenario's values.
+	same := applyOverrides(base, options{})
+	if same != base {
+		t.Errorf("zero overrides changed the scenario: %+v != %+v", same, base)
+	}
+}
+
+// writeBenchFile writes a minimal valid BENCH file for compare-mode tests.
+func writeBenchFile(t *testing.T, path string, mutate func(*loadgen.Report)) {
+	t.Helper()
+	rep := &loadgen.Report{
+		SchemaVersion: loadgen.SchemaVersion,
+		Scenario:      loadgen.ScenarioInfo{Name: "smoke"},
+		LatencyMS:     loadgen.LatencySnapshot{Count: 100, P99: 10, Max: 12},
+		Throughput:    loadgen.ThroughputStats{RoundTrips: 100, Succeeded: 100, RPS: 50},
+	}
+	if mutate != nil {
+		mutate(rep)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := loadgen.WriteBench(f, rep); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	samePath := filepath.Join(dir, "same.json")
+	badPath := filepath.Join(dir, "bad.json")
+	writeBenchFile(t, oldPath, nil)
+	writeBenchFile(t, samePath, nil)
+	writeBenchFile(t, badPath, func(r *loadgen.Report) {
+		r.LatencyMS.P99 = 40 // 4x the baseline
+		r.Throughput.RPS = 12.5
+	})
+
+	code, err := runCompare(options{compare: oldPath, against: samePath, maxP99Regress: 25, maxTputRegres: 25})
+	if err != nil || code != 0 {
+		t.Fatalf("identical compare: code=%d err=%v", code, err)
+	}
+	code, err = runCompare(options{compare: oldPath, against: badPath, maxP99Regress: 25, maxTputRegres: 25})
+	if err != nil || code != 1 {
+		t.Fatalf("regressed compare: code=%d err=%v, want 1", code, err)
+	}
+	// The same regression passes inside a loose tolerance.
+	code, err = runCompare(options{compare: oldPath, against: badPath, maxP99Regress: 1000, maxTputRegres: 1000})
+	if err != nil || code != 0 {
+		t.Fatalf("loose-tolerance compare: code=%d err=%v, want 0", code, err)
+	}
+	if _, err := runCompare(options{compare: filepath.Join(dir, "missing.json"), against: samePath, maxP99Regress: 25, maxTputRegres: 25}); err == nil {
+		t.Fatal("missing baseline did not error")
+	}
+}
+
+func TestRunDegradeThenCompareFails(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	degPath := filepath.Join(dir, "deg.json")
+	writeBenchFile(t, oldPath, nil)
+	if err := runDegrade(options{degrade: oldPath, factor: 4, degOut: degPath}); err != nil {
+		t.Fatalf("runDegrade: %v", err)
+	}
+	code, err := runCompare(options{compare: oldPath, against: degPath, maxP99Regress: 25, maxTputRegres: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatal("the gate passed a 4x synthetic regression — it gates nothing")
+	}
+}
+
+// TestRunScenarioEndToEnd runs a tiny scenario against the in-process server
+// and checks the BENCH file lands on disk with a clean exit code.
+func TestRunScenarioEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end run; the loadgen package covers the harness under -short")
+	}
+	dir := t.TempDir()
+	sc, _ := loadgen.NamedScenario("smoke")
+	opts := options{outDir: dir, roundTrips: 40, concurrency: 4, rows: 150, l: 2, bodies: 4, sample: 4}
+	code, err := runScenario(context.Background(), sc, opts)
+	if err != nil {
+		t.Fatalf("runScenario: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	rep, err := loadgen.ReadBenchFile(filepath.Join(dir, "BENCH_smoke.json"))
+	if err != nil {
+		t.Fatalf("reading the produced BENCH file: %v", err)
+	}
+	if rep.Throughput.RoundTrips != 40 || rep.Errors.LostJobs != 0 {
+		t.Errorf("report: %+v", rep)
+	}
+}
+
+// TestRunScenarioDurableStore covers the Store path: the in-process server
+// gets a temp journal dir and the run stays clean.
+func TestRunScenarioDurableStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end run")
+	}
+	dir := t.TempDir()
+	sc, _ := loadgen.NamedScenario("durable-smoke")
+	opts := options{outDir: dir, roundTrips: 20, concurrency: 4, rows: 150, l: 2, bodies: 4, sample: 4}
+	code, err := runScenario(context.Background(), sc, opts)
+	if err != nil {
+		t.Fatalf("runScenario: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_durable-smoke.json")); err != nil {
+		t.Fatal(err)
+	}
+}

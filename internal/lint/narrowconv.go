@@ -21,6 +21,9 @@ var narrowconvPkgs = map[string]bool{
 	// The store's journal replay folds attacker-adjacent on-disk bytes into
 	// attempt counts and byte offsets; a narrowing there corrupts recovery.
 	"store": true,
+	// The load harness aggregates round-trip and error counts whose whole
+	// point is regression detection; a silent narrowing would fake a perf win.
+	"loadgen": true,
 }
 
 // Narrowconv flags the PR 5 bug class: narrowing a count-carrying integer

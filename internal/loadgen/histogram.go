@@ -1,0 +1,146 @@
+package loadgen
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// The latency histogram: log-spaced buckets so one fixed-size array spans the
+// five orders of magnitude between a cache-hit round trip (sub-millisecond)
+// and a fat job that waits out a deep backlog (minutes), with constant
+// relative error per bucket. All operations are lock-free so thousands of
+// concurrent round-trip workers can observe into one histogram.
+
+const (
+	// histMin is the upper bound of bucket 0; observations below it land
+	// there too. 50µs is well under the cheapest possible HTTP round trip.
+	histMin = 50 * time.Microsecond
+	// histGrowth is the per-bucket growth factor: each bucket's upper bound
+	// is 25% above the previous one, bounding a quantile estimate's relative
+	// error at 25%.
+	histGrowth = 1.25
+	// histBuckets spans histMin * 1.25^71 ≈ 380s before the overflow bucket.
+	histBuckets = 72
+)
+
+// invLogGrowth is 1/ln(histGrowth), precomputed for bucketOf.
+var invLogGrowth = 1 / math.Log(histGrowth)
+
+// Histogram is a concurrency-safe log-bucketed latency histogram. The zero
+// value is ready to use.
+type Histogram struct {
+	// counts[histBuckets] is the overflow bucket.
+	counts   [histBuckets + 1]atomic.Int64
+	count    atomic.Int64
+	sumNanos atomic.Int64
+	maxNanos atomic.Int64
+}
+
+// bucketOf maps a latency to its bucket index.
+func bucketOf(d time.Duration) int {
+	if d <= histMin {
+		return 0
+	}
+	i := int(math.Log(float64(d)/float64(histMin)) * invLogGrowth)
+	if i >= histBuckets {
+		return histBuckets
+	}
+	// Floating-point log can land one bucket low on exact boundaries; nudge
+	// up so every observation is <= its bucket's upper bound.
+	if d > bucketBound(i) {
+		i++
+		if i > histBuckets {
+			i = histBuckets
+		}
+	}
+	return i
+}
+
+// bucketBound returns the upper latency bound of bucket i.
+func bucketBound(i int) time.Duration {
+	return time.Duration(float64(histMin) * math.Pow(histGrowth, float64(i+1)))
+}
+
+// Observe records one round-trip latency.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(d)].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+	for {
+		old := h.maxNanos.Load()
+		if int64(d) <= old || h.maxNanos.CompareAndSwap(old, int64(d)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// quantile returns the latency at quantile q in [0,1]: the upper bound of the
+// bucket holding the q-th observation, clamped to the exact observed maximum
+// (so p99 can never exceed max). Zero when the histogram is empty.
+func (h *Histogram) quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	maxSeen := time.Duration(h.maxNanos.Load())
+	var cum int64
+	for i := 0; i <= histBuckets; i++ {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i == histBuckets {
+				return maxSeen
+			}
+			if b := bucketBound(i); b < maxSeen {
+				return b
+			}
+			return maxSeen
+		}
+	}
+	return maxSeen
+}
+
+// LatencySnapshot is the JSON shape of a histogram in a BENCH report; every
+// field is in milliseconds (rounded to 3 decimals) except Count.
+type LatencySnapshot struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// Snapshot summarizes the histogram for a BENCH report.
+func (h *Histogram) Snapshot() LatencySnapshot {
+	total := h.count.Load()
+	s := LatencySnapshot{Count: total}
+	if total == 0 {
+		return s
+	}
+	s.Mean = roundMS(time.Duration(h.sumNanos.Load() / total))
+	s.P50 = roundMS(h.quantile(0.50))
+	s.P90 = roundMS(h.quantile(0.90))
+	s.P99 = roundMS(h.quantile(0.99))
+	s.Max = roundMS(time.Duration(h.maxNanos.Load()))
+	return s
+}
+
+// roundMS converts a duration to milliseconds rounded to 3 decimals, so BENCH
+// files do not churn on sub-microsecond float noise.
+func roundMS(d time.Duration) float64 {
+	return round3(float64(d) / float64(time.Millisecond))
+}
+
+// round3 rounds to 3 decimals.
+func round3(x float64) float64 { return math.Round(x*1000) / 1000 }

@@ -1,0 +1,113 @@
+package loadgen
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketOfMonotonic(t *testing.T) {
+	prev := -1
+	for d := time.Microsecond; d < 10*time.Minute; d = d * 11 / 10 {
+		b := bucketOf(d)
+		if b < prev {
+			t.Fatalf("bucketOf(%v) = %d, below previous bucket %d", d, b, prev)
+		}
+		if b > histBuckets {
+			t.Fatalf("bucketOf(%v) = %d, beyond the overflow bucket %d", d, b, histBuckets)
+		}
+		prev = b
+	}
+	if got := bucketOf(0); got != 0 {
+		t.Fatalf("bucketOf(0) = %d, want 0", got)
+	}
+}
+
+func TestBucketBoundCoversObservation(t *testing.T) {
+	// Every observation must be <= its bucket's upper bound, including exact
+	// boundary values where floating-point log can land one bucket low.
+	for i := 0; i < histBuckets; i++ {
+		ub := bucketBound(i)
+		if got := bucketOf(ub); got > i {
+			t.Fatalf("bucketOf(bucketBound(%d)=%v) = %d, want <= %d", i, ub, got, i)
+		}
+		if got := bucketOf(ub + 1); got <= i && ub+1 > histMin {
+			t.Fatalf("bucketOf(%v) = %d, want > %d (just past bound of bucket %d)", ub+1, got, i, i)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1..1000 ms uniformly: p50 ≈ 500ms, p99 ≈ 990ms, within the 25%
+	// relative bucket error; max is tracked exactly.
+	for ms := 1; ms <= 1000; ms++ {
+		h.Observe(time.Duration(ms) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	if s.Max != 1000 {
+		t.Fatalf("max = %vms, want exactly 1000", s.Max)
+	}
+	check := func(name string, got, want float64) {
+		t.Helper()
+		if got < want || got > want*1.3 {
+			t.Fatalf("%s = %vms, want in [%v, %v]", name, got, want, want*1.3)
+		}
+	}
+	check("p50", s.P50, 500)
+	check("p90", s.P90, 900)
+	check("p99", s.P99, 990)
+	if s.P50 > s.P90 || s.P90 > s.P99 || s.P99 > s.Max {
+		t.Fatalf("quantiles not monotone: %+v", s)
+	}
+	if s.Mean < 450 || s.Mean > 550 {
+		t.Fatalf("mean = %vms, want ~500.5", s.Mean)
+	}
+}
+
+func TestHistogramEmptyAndSingle(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s != (LatencySnapshot{}) {
+		t.Fatalf("empty snapshot = %+v, want zero", s)
+	}
+	h.Observe(3 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Max != 3 {
+		t.Fatalf("single-observation snapshot = %+v", s)
+	}
+	// Every quantile of one observation is that observation (clamped to max).
+	if s.P50 != 3 || s.P99 != 3 {
+		t.Fatalf("single-observation quantiles = %+v, want all 3ms", s)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Hour) // far past the last bounded bucket
+	s := h.Snapshot()
+	if s.P99 != s.Max || s.Max != roundMS(time.Hour) {
+		t.Fatalf("overflow snapshot = %+v, want p99 = max = 1h", s)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const workers, per = 16, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w*per+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+}

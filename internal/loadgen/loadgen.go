@@ -1,0 +1,760 @@
+// Package loadgen is the concurrent load-test harness behind cmd/ldivload: it
+// drives submit -> poll -> result -> verify round trips against a live ldivd
+// server (in-process httptest in CI, a real deployment via -addr), measures
+// latency in a log-bucketed histogram, scrapes the server's own /metrics
+// endpoint for the error taxonomy, audits a sampled fraction of the fetched
+// results with internal/audit, byte-compares them against the library oracle,
+// and records everything as a machine-readable BENCH_<scenario>.json — the
+// repo's benchmark trajectory (see docs/ARCHITECTURE.md "Load testing").
+//
+// Two loop models:
+//
+//   - closed loop (the default): Concurrency workers each run round trips
+//     back to back, so offered load adapts to server speed and the run
+//     measures sustainable throughput;
+//   - open loop (RatePerSec > 0): round trips start on a fixed schedule
+//     regardless of completions, so the run measures behavior under an
+//     offered load the server does not control — the regime where admission
+//     control (429s, Retry-After, tenant quotas) earns its keep.
+//
+// The package is registered with ldivlint's detrange analyzer: its only wall
+// clock read is the now helper below, and the BENCH writer is deterministic
+// for a given report, which is what keeps trajectory diffs reviewable.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ldiv"
+)
+
+// now is the harness's single wall-clock read; latencies are differences of
+// its monotonic readings.
+func now() time.Time {
+	//lint:ignore detrange a load generator's entire output is wall-clock measurement; latencies and throughput are never release bytes
+	return time.Now()
+}
+
+// Scenario describes one load-test cell of the matrix: the workload shape
+// (algorithm, l, table size), the client population (tenants, concurrency,
+// loop model), and the sampling rate of the correctness checks.
+type Scenario struct {
+	// Name keys the BENCH_<Name>.json file and must be stable across PRs.
+	Name string
+	// Algorithm is any canonical ldiv algorithm name (ldiv.Algorithms).
+	Algorithm string
+	// L is the diversity parameter submitted with every job.
+	L int
+	// Rows is the row count of each generated table.
+	Rows int
+	// QICols is how many SAL quasi-identifier columns each table keeps
+	// (1..7). Default 3.
+	QICols int
+	// Tenants is the number of distinct X-Tenant header values cycled across
+	// round trips. Default 1.
+	Tenants int
+	// Concurrency is the closed-loop worker count, and the in-flight cap of
+	// the open loop. Default 8.
+	Concurrency int
+	// RatePerSec switches to the open loop: round trips start at this rate
+	// regardless of completions. 0 keeps the closed loop.
+	RatePerSec float64
+	// Duration bounds the submission phase (the drain sweep afterwards is
+	// extra). Default 5s. Ignored when RoundTrips is set.
+	Duration time.Duration
+	// RoundTrips, when positive, stops the closed loop after exactly this
+	// many round trips instead of after Duration.
+	RoundTrips int64
+	// UniqueBodies is the size of the generated body pool; submissions cycle
+	// through it, so a pool smaller than the run exercises the server's
+	// result cache (as repeated production datasets would). Default 32.
+	UniqueBodies int
+	// SampleEvery audits every Nth successful result (internal/audit verdict
+	// plus byte-comparison against the library oracle). 0 disables
+	// verification. Default 8.
+	SampleEvery int64
+	// Store marks the scenario as wanting a durable job store; the harness
+	// front-end (cmd/ldivload) configures the in-process server accordingly,
+	// and the flag is echoed into the BENCH file either way.
+	Store bool
+	// Seed derives the generated tables; same seed, same bodies. Default 1.
+	Seed int64
+	// PollTimeout bounds how long one round trip polls an accepted job
+	// before giving up (the drain sweep still resolves the job afterwards).
+	// Default 60s.
+	PollTimeout time.Duration
+}
+
+// withDefaults fills the zero fields.
+func (sc Scenario) withDefaults() Scenario {
+	if sc.Algorithm == "" {
+		sc.Algorithm = "tp+"
+	}
+	if sc.L == 0 {
+		sc.L = 4
+	}
+	if sc.Rows == 0 {
+		sc.Rows = 500
+	}
+	if sc.QICols == 0 {
+		sc.QICols = 3
+	}
+	if sc.Tenants == 0 {
+		sc.Tenants = 1
+	}
+	if sc.Concurrency == 0 {
+		sc.Concurrency = 8
+	}
+	if sc.Duration == 0 {
+		sc.Duration = 5 * time.Second
+	}
+	if sc.UniqueBodies == 0 {
+		sc.UniqueBodies = 32
+	}
+	if sc.SampleEvery == 0 {
+		sc.SampleEvery = 8
+	}
+	if sc.Seed == 0 {
+		sc.Seed = 1
+	}
+	if sc.PollTimeout == 0 {
+		sc.PollTimeout = 60 * time.Second
+	}
+	return sc
+}
+
+// info renders the scenario for the BENCH file.
+func (sc Scenario) info() ScenarioInfo {
+	return ScenarioInfo{
+		Name:        sc.Name,
+		Algorithm:   sc.Algorithm,
+		L:           sc.L,
+		Rows:        sc.Rows,
+		QICols:      sc.QICols,
+		Tenants:     sc.Tenants,
+		Concurrency: sc.Concurrency,
+		RatePerSec:  sc.RatePerSec,
+		Store:       sc.Store,
+		Seed:        sc.Seed,
+	}
+}
+
+// Runner drives one scenario against one server.
+type Runner struct {
+	// BaseURL is the server root, e.g. http://127.0.0.1:8080 or an
+	// httptest.Server's URL.
+	BaseURL string
+	// Client is the HTTP client; nil gets a 30s-timeout client.
+	Client *http.Client
+	// Scenario is the workload to drive.
+	Scenario Scenario
+	// Clock supplies the report's started_at timestamp; tests inject a fixed
+	// one so BENCH goldens are byte-stable. Nil means the wall clock.
+	Clock func() time.Time
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// body is one pre-generated submission: the CSV bytes the server gets, the
+// generator's in-memory table, and the lazily computed oracle release.
+type body struct {
+	csv   []byte
+	table *ldiv.Table
+
+	oracleOnce sync.Once
+	parsed     *ldiv.Table // csv re-read the way the server reads it
+	oracleCSV  []byte
+	oracleST   []byte
+	oracleErr  error
+}
+
+// oracle computes (once) the library-side release for this body — the bytes
+// the server must match exactly, per the PR 3/PR 5 equivalence contract. The
+// oracle re-parses the submitted CSV with ldiv.ReadCSV exactly as the server
+// does (byte-equivalence is a property of the bytes on the wire, and a
+// generator-side table can carry schema detail the CSV does not).
+func (b *body) oracle(sc Scenario, qi []string, sa string) ([]byte, []byte, error) {
+	b.oracleOnce.Do(func() {
+		parsed, err := ldiv.ReadCSV(bytes.NewReader(b.csv), qi, sa)
+		if err != nil {
+			b.oracleErr = err
+			return
+		}
+		b.parsed = parsed
+		if sc.Algorithm == "anatomy" {
+			an, err := ldiv.Anatomize(parsed, sc.L)
+			if err != nil {
+				b.oracleErr = err
+				return
+			}
+			var qit, st bytes.Buffer
+			if err := ldiv.WriteAnatomyQITCSV(&qit, parsed, an); err != nil {
+				b.oracleErr = err
+				return
+			}
+			if err := ldiv.WriteAnatomySTCSV(&st, parsed, an); err != nil {
+				b.oracleErr = err
+				return
+			}
+			b.oracleCSV, b.oracleST = qit.Bytes(), st.Bytes()
+			return
+		}
+		gen, _, err := ldiv.AnonymizeWith(parsed, sc.L, sc.Algorithm)
+		if err != nil {
+			b.oracleErr = err
+			return
+		}
+		var buf bytes.Buffer
+		if err := ldiv.WriteGeneralizedCSV(&buf, gen); err != nil {
+			b.oracleErr = err
+			return
+		}
+		b.oracleCSV = buf.Bytes()
+	})
+	return b.oracleCSV, b.oracleST, b.oracleErr
+}
+
+// runState is the shared mutable state of one run.
+type runState struct {
+	bodies []*body
+	qi     []string
+	sa     string
+
+	hist Histogram
+
+	roundTrips        atomic.Int64
+	succeeded         atomic.Int64
+	queueFull         atomic.Int64
+	tenantQuota       atomic.Int64
+	tooLarge          atomic.Int64
+	draining          atomic.Int64
+	submitOther       atomic.Int64
+	jobFailed         atomic.Int64
+	jobQuarantined    atomic.Int64
+	pollTimeouts      atomic.Int64
+	transportErrors   atomic.Int64
+	statusEvicted     atomic.Int64
+	openLoopSkipped   atomic.Int64
+	lostJobs          atomic.Int64
+	verifySampled     atomic.Int64
+	verifyAuditOK     atomic.Int64
+	verifyViolations  atomic.Int64
+	verifyOracleOK    atomic.Int64
+	verifyOracleBad   atomic.Int64
+	verifySampleQueue atomic.Int64 // successes so far, for every-Nth sampling
+
+	mu      sync.Mutex
+	tracked []*trackedJob
+}
+
+// trackedJob is one 202-acknowledged job the run still owes a terminal state.
+type trackedJob struct {
+	id       string
+	terminal atomic.Bool
+}
+
+// track registers an accepted job for the end-of-run drain sweep.
+func (st *runState) track(id string) *trackedJob {
+	tj := &trackedJob{id: id}
+	st.mu.Lock()
+	st.tracked = append(st.tracked, tj)
+	st.mu.Unlock()
+	return tj
+}
+
+// jobStatus is the slice of the server's job view the harness reads.
+type jobStatus struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Error  string `json:"error"`
+}
+
+// apiErrorBody decodes the server's typed error envelope.
+type apiErrorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// Run drives the scenario and returns its BENCH report. The returned error
+// covers harness failures (unreachable server, body generation); workload
+// failures (rejections, failed jobs, verdict violations) are data in the
+// report, not errors.
+func (r *Runner) Run(ctx context.Context) (*Report, error) {
+	sc := r.Scenario.withDefaults()
+	client := r.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	clock := r.Clock
+	if clock == nil {
+		clock = now
+	}
+	st, err := newRunState(sc)
+	if err != nil {
+		return nil, err
+	}
+	r.logf("scenario %s: %d bodies of %d rows, algo=%s l=%d, %d tenants",
+		sc.Name, len(st.bodies), sc.Rows, sc.Algorithm, sc.L, sc.Tenants)
+
+	before, err := ScrapeMetrics(client, r.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: scraping /metrics before the run: %w", err)
+	}
+
+	startedAt := startedAtFrom(clock)
+	start := now()
+	if sc.RatePerSec > 0 {
+		r.openLoop(ctx, client, sc, st, start)
+	} else {
+		r.closedLoop(ctx, client, sc, st, start)
+	}
+	loadElapsed := now().Sub(start)
+
+	r.sweep(ctx, client, sc, st)
+
+	after, err := ScrapeMetrics(client, r.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: scraping /metrics after the run: %w", err)
+	}
+
+	rep := &Report{
+		SchemaVersion:   SchemaVersion,
+		Scenario:        sc.info(),
+		StartedAt:       startedAt,
+		DurationSeconds: round3(loadElapsed.Seconds()),
+		Throughput: ThroughputStats{
+			RoundTrips: st.roundTrips.Load(),
+			Succeeded:  st.succeeded.Load(),
+		},
+		LatencyMS: st.hist.Snapshot(),
+		Errors: ErrorStats{
+			SubmitQueueFull:   st.queueFull.Load(),
+			SubmitTenantQuota: st.tenantQuota.Load(),
+			SubmitTooLarge:    st.tooLarge.Load(),
+			SubmitDraining:    st.draining.Load(),
+			SubmitOther:       st.submitOther.Load(),
+			JobFailed:         st.jobFailed.Load(),
+			JobQuarantined:    st.jobQuarantined.Load(),
+			PollTimeouts:      st.pollTimeouts.Load(),
+			TransportErrors:   st.transportErrors.Load(),
+			StatusEvicted:     st.statusEvicted.Load(),
+			OpenLoopSkipped:   st.openLoopSkipped.Load(),
+			LostJobs:          st.lostJobs.Load(),
+		},
+		Server: MetricsDelta(before, after),
+		Verify: VerifyStats{
+			Sampled:         st.verifySampled.Load(),
+			AuditOK:         st.verifyAuditOK.Load(),
+			AuditViolations: st.verifyViolations.Load(),
+			OracleMatches:   st.verifyOracleOK.Load(),
+			OracleMismatch:  st.verifyOracleBad.Load(),
+		},
+	}
+	if secs := loadElapsed.Seconds(); secs > 0 {
+		rep.Throughput.RPS = round3(float64(rep.Throughput.Succeeded) / secs)
+	}
+	r.logf("scenario %s: %d round trips, %d ok, p99=%.3fms, %d lost",
+		sc.Name, rep.Throughput.RoundTrips, rep.Throughput.Succeeded, rep.LatencyMS.P99, rep.Errors.LostJobs)
+	return rep, nil
+}
+
+// newRunState generates the body pool. Seeds that produce an l-ineligible
+// table (possible on small skewed samples) are skipped, up to a bound.
+func newRunState(sc Scenario) (*runState, error) {
+	st := &runState{}
+	seed := sc.Seed
+	for attempts := 0; len(st.bodies) < sc.UniqueBodies; attempts++ {
+		if attempts >= 4*sc.UniqueBodies {
+			return nil, fmt.Errorf("loadgen: could not generate %d %d-eligible tables of %d rows (got %d); lower l or raise rows",
+				sc.UniqueBodies, sc.L, sc.Rows, len(st.bodies))
+		}
+		t, err := ldiv.GenerateSAL(sc.Rows, seed)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: generating table: %w", err)
+		}
+		seed++
+		qiNames := t.Schema().QINames()
+		if sc.QICols < len(qiNames) {
+			t, err = t.ProjectNames(qiNames[:sc.QICols])
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: projecting table: %w", err)
+			}
+		}
+		if !ldiv.IsEligible(t, sc.L) {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := ldiv.WriteCSV(&buf, t); err != nil {
+			return nil, fmt.Errorf("loadgen: encoding table: %w", err)
+		}
+		if st.qi == nil {
+			st.qi = t.Schema().QINames()
+			st.sa = t.Schema().SA().Name()
+		}
+		st.bodies = append(st.bodies, &body{csv: buf.Bytes(), table: t})
+	}
+	return st, nil
+}
+
+// closedLoop runs Concurrency workers of back-to-back round trips until the
+// deadline (or the round-trip budget) is reached.
+func (r *Runner) closedLoop(ctx context.Context, client *http.Client, sc Scenario, st *runState, start time.Time) {
+	deadline := start.Add(sc.Duration)
+	var seq atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < sc.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				n := seq.Add(1)
+				if sc.RoundTrips > 0 {
+					if n > sc.RoundTrips {
+						return
+					}
+				} else if !now().Before(deadline) {
+					return
+				}
+				r.roundTrip(ctx, client, sc, st, n)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// openLoop starts round trips on a fixed schedule, capped at Concurrency in
+// flight; a tick that finds every slot busy is counted, not queued, so the
+// offered rate is honest.
+func (r *Runner) openLoop(ctx context.Context, client *http.Client, sc Scenario, st *runState, start time.Time) {
+	deadline := start.Add(sc.Duration)
+	interval := time.Duration(float64(time.Second) / sc.RatePerSec)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	sem := make(chan struct{}, sc.Concurrency)
+	var wg sync.WaitGroup
+	var n int64
+	for ctx.Err() == nil && now().Before(deadline) {
+		select {
+		case <-ctx.Done():
+		case <-ticker.C:
+			select {
+			case sem <- struct{}{}:
+				n++
+				wg.Add(1)
+				go func(n int64) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					r.roundTrip(ctx, client, sc, st, n)
+				}(n)
+			default:
+				st.openLoopSkipped.Add(1)
+			}
+		}
+	}
+	wg.Wait()
+}
+
+// submitURL builds the submit query for the run's schema.
+func (st *runState) submitURL(base string, sc Scenario) string {
+	q := url.Values{}
+	q.Set("algo", sc.Algorithm)
+	q.Set("l", fmt.Sprint(sc.L))
+	q.Set("qi", strings.Join(st.qi, ","))
+	q.Set("sa", st.sa)
+	return base + "/v1/jobs?" + q.Encode()
+}
+
+// roundTrip is one submit -> poll -> result -> verify cycle. Every path
+// increments exactly one outcome counter plus roundTrips.
+func (r *Runner) roundTrip(ctx context.Context, client *http.Client, sc Scenario, st *runState, n int64) {
+	defer st.roundTrips.Add(1)
+	b := st.bodies[(n-1)%int64(len(st.bodies))]
+	tenant := fmt.Sprintf("tenant-%02d", (n-1)%int64(sc.Tenants))
+
+	t0 := now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, st.submitURL(r.BaseURL, sc), bytes.NewReader(b.csv))
+	if err != nil {
+		st.transportErrors.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	req.Header.Set("X-Tenant", tenant)
+	resp, err := client.Do(req)
+	if err != nil {
+		st.transportErrors.Add(1)
+		return
+	}
+	respBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		st.transportErrors.Add(1)
+		return
+	}
+
+	switch resp.StatusCode {
+	case http.StatusOK: // memoized: the job is born done
+		var js jobStatus
+		if json.Unmarshal(respBody, &js) != nil || js.ID == "" {
+			st.submitOther.Add(1)
+			return
+		}
+		r.fetchAndVerify(ctx, client, sc, st, b, js.ID, t0)
+	case http.StatusAccepted:
+		var js jobStatus
+		if json.Unmarshal(respBody, &js) != nil || js.ID == "" {
+			st.submitOther.Add(1)
+			return
+		}
+		tj := st.track(js.ID)
+		r.pollToResult(ctx, client, sc, st, b, tj, t0)
+	case http.StatusTooManyRequests:
+		var ae apiErrorBody
+		_ = json.Unmarshal(respBody, &ae)
+		if ae.Error.Code == "tenant_quota" {
+			st.tenantQuota.Add(1)
+		} else {
+			st.queueFull.Add(1)
+		}
+		// A closed-loop worker that obeyed a 1s+ Retry-After would stop
+		// offering load; back off just enough to avoid a pure spin.
+		sleepCtx(ctx, 5*time.Millisecond)
+	case http.StatusRequestEntityTooLarge:
+		st.tooLarge.Add(1)
+	case http.StatusServiceUnavailable:
+		st.draining.Add(1)
+		sleepCtx(ctx, 5*time.Millisecond)
+	default:
+		st.submitOther.Add(1)
+	}
+}
+
+// pollToResult polls an accepted job to a terminal state and fetches its
+// result. Latency is measured submit-to-result-fetched.
+func (r *Runner) pollToResult(ctx context.Context, client *http.Client, sc Scenario, st *runState, b *body, tj *trackedJob, t0 time.Time) {
+	deadline := t0.Add(sc.PollTimeout)
+	interval := time.Millisecond
+	for {
+		if ctx.Err() != nil || !now().Before(deadline) {
+			st.pollTimeouts.Add(1)
+			return
+		}
+		sleepCtx(ctx, interval)
+		if interval *= 2; interval > 50*time.Millisecond {
+			interval = 50 * time.Millisecond
+		}
+		status, code, ok := r.jobState(ctx, client, st, tj.id)
+		if !ok {
+			if code == http.StatusNotFound {
+				// The finished-job retention bound evicted the entry between
+				// our polls; the job is not lost (the server finished it) but
+				// its outcome is unobservable. Tracked separately so a
+				// too-tight -retain shows up in the BENCH file.
+				tj.terminal.Store(true)
+				st.statusEvicted.Add(1)
+				return
+			}
+			continue
+		}
+		switch status {
+		case "done":
+			tj.terminal.Store(true)
+			r.fetchAndVerify(ctx, client, sc, st, b, tj.id, t0)
+			return
+		case "failed":
+			tj.terminal.Store(true)
+			st.jobFailed.Add(1)
+			return
+		case "quarantined":
+			tj.terminal.Store(true)
+			st.jobQuarantined.Add(1)
+			return
+		}
+	}
+}
+
+// jobState reads a job's status; ok is false on transport errors and non-200s.
+func (r *Runner) jobState(ctx context.Context, client *http.Client, st *runState, id string) (status string, code int, ok bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.BaseURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		st.transportErrors.Add(1)
+		return "", 0, false
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		st.transportErrors.Add(1)
+		return "", 0, false
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		st.transportErrors.Add(1)
+		return "", resp.StatusCode, false
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", resp.StatusCode, false
+	}
+	var js jobStatus
+	if json.Unmarshal(data, &js) != nil {
+		return "", resp.StatusCode, false
+	}
+	return js.Status, resp.StatusCode, true
+}
+
+// fetchAndVerify downloads a done job's result (and anatomy's ST part),
+// records the round trip as a success, and runs the sampled correctness
+// checks. Verification happens after the latency observation so the sampled
+// fraction does not skew the percentiles.
+func (r *Runner) fetchAndVerify(ctx context.Context, client *http.Client, sc Scenario, st *runState, b *body, id string, t0 time.Time) {
+	resCSV, ok := r.fetchPart(ctx, client, st, id, "")
+	if !ok {
+		return
+	}
+	var stCSV []byte
+	if sc.Algorithm == "anatomy" {
+		if stCSV, ok = r.fetchPart(ctx, client, st, id, "st"); !ok {
+			return
+		}
+	}
+	st.hist.Observe(now().Sub(t0))
+	st.succeeded.Add(1)
+	if sc.SampleEvery > 0 && st.verifySampleQueue.Add(1)%sc.SampleEvery == 0 {
+		r.verifySample(sc, st, b, resCSV, stCSV)
+	}
+}
+
+// fetchPart downloads one part of a result.
+func (r *Runner) fetchPart(ctx context.Context, client *http.Client, st *runState, id, part string) ([]byte, bool) {
+	u := r.BaseURL + "/v1/jobs/" + id + "/result"
+	if part != "" {
+		u += "?part=" + part
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		st.transportErrors.Add(1)
+		return nil, false
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		st.transportErrors.Add(1)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		st.transportErrors.Add(1)
+		return nil, false
+	}
+	if resp.StatusCode != http.StatusOK {
+		st.transportErrors.Add(1)
+		return nil, false
+	}
+	return data, true
+}
+
+// verifySample runs the two correctness checks on one sampled result: the
+// independent auditor's verdict and byte-equivalence with the library oracle.
+// Both run against the server's view of the original — the submitted CSV as
+// ldiv.ReadCSV parses it.
+func (r *Runner) verifySample(sc Scenario, st *runState, b *body, resCSV, stCSV []byte) {
+	st.verifySampled.Add(1)
+	oracleCSV, oracleST, oerr := b.oracle(sc, st.qi, st.sa)
+	original := b.parsed
+	if original == nil {
+		original = b.table // oracle parse failed; audit against the generator's table
+	}
+	var rep *ldiv.ReleaseReport
+	var err error
+	if sc.Algorithm == "anatomy" {
+		rep, err = ldiv.VerifyAnatomyRelease(original, bytes.NewReader(resCSV), bytes.NewReader(stCSV), ldiv.VerifyOptions{L: sc.L})
+	} else {
+		rep, err = ldiv.VerifyRelease(original, bytes.NewReader(resCSV), ldiv.VerifyOptions{L: sc.L})
+	}
+	if err != nil || !rep.OK {
+		st.verifyViolations.Add(1)
+		if err != nil {
+			r.logf("verify error: %v", err)
+		}
+	} else {
+		st.verifyAuditOK.Add(1)
+	}
+	if oerr == nil && bytes.Equal(resCSV, oracleCSV) && bytes.Equal(stCSV, oracleST) {
+		st.verifyOracleOK.Add(1)
+	} else {
+		st.verifyOracleBad.Add(1)
+		if oerr != nil {
+			r.logf("oracle error: %v", oerr)
+		}
+	}
+}
+
+// sweep resolves every acknowledged job the round trips left non-terminal
+// (poll timeouts, cancelled workers): each gets a grace period to reach a
+// terminal state; whatever remains is a lost job — the server acknowledged
+// work and cannot say what became of it.
+func (r *Runner) sweep(ctx context.Context, client *http.Client, sc Scenario, st *runState) {
+	st.mu.Lock()
+	tracked := st.tracked
+	st.mu.Unlock()
+	var pending []*trackedJob
+	for _, tj := range tracked {
+		if !tj.terminal.Load() {
+			pending = append(pending, tj)
+		}
+	}
+	if len(pending) == 0 {
+		return
+	}
+	r.logf("sweep: %d acknowledged jobs still non-terminal", len(pending))
+	deadline := now().Add(30 * time.Second)
+	for _, tj := range pending {
+		for {
+			if now().After(deadline) || ctx.Err() != nil {
+				st.lostJobs.Add(1)
+				break
+			}
+			status, code, ok := r.jobState(ctx, client, st, tj.id)
+			if ok && (status == "done" || status == "failed" || status == "quarantined") {
+				tj.terminal.Store(true)
+				break
+			}
+			if !ok && code == http.StatusNotFound {
+				tj.terminal.Store(true)
+				st.statusEvicted.Add(1)
+				break
+			}
+			sleepCtx(ctx, 50*time.Millisecond)
+		}
+	}
+}
+
+// sleepCtx sleeps unless the context ends first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+	case <-timer.C:
+	}
+}
+
+// logf forwards to Logf when set.
+func (r *Runner) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}

@@ -1,0 +1,201 @@
+package loadgen_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ldiv/internal/loadgen"
+	"ldiv/internal/service"
+)
+
+// startServer runs an in-process ldivd on an httptest listener. JobRetention
+// is negative (retain forever) so a finished job's status can never be evicted
+// between the client's polls — in this harness a 404 would be a real bug, not
+// a retention artifact.
+func startServer(t *testing.T, cfg service.Config) *httptest.Server {
+	t.Helper()
+	if cfg.JobRetention == 0 {
+		cfg.JobRetention = -1
+	}
+	s := service.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
+	return ts
+}
+
+// TestRunConcurrentRoundTrips is the harness's acceptance test: hundreds of
+// concurrent closed-loop round trips against an in-process server, under the
+// race detector in CI, with every acknowledged job reaching a terminal state
+// and every sampled result byte-identical to the library oracle.
+func TestRunConcurrentRoundTrips(t *testing.T) {
+	ts := startServer(t, service.Config{QueueDepth: 2048})
+	r := &loadgen.Runner{
+		BaseURL: ts.URL,
+		Scenario: loadgen.Scenario{
+			Name:         "race",
+			Algorithm:    "tp+",
+			L:            2,
+			Rows:         200,
+			QICols:       3,
+			Tenants:      3,
+			Concurrency:  24,
+			RoundTrips:   600,
+			UniqueBodies: 8,
+			SampleEvery:  4,
+			Seed:         1,
+		},
+		Logf: t.Logf,
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Throughput.RoundTrips != 600 {
+		t.Errorf("round trips = %d, want 600", rep.Throughput.RoundTrips)
+	}
+	// With no tenant quotas and a queue deeper than the worker pool can ever
+	// back up against 24 clients, every round trip must succeed: any rejection,
+	// failure, timeout, or lost job is a bug in the server or the harness.
+	if rep.Throughput.Succeeded != 600 {
+		t.Errorf("succeeded = %d of 600; errors: %+v", rep.Throughput.Succeeded, rep.Errors)
+	}
+	if rep.Errors != (loadgen.ErrorStats{}) {
+		t.Errorf("error taxonomy not empty: %+v", rep.Errors)
+	}
+	if rep.Errors.LostJobs != 0 {
+		t.Errorf("%d acknowledged jobs never reached a terminal state", rep.Errors.LostJobs)
+	}
+	if rep.LatencyMS.Count != 600 {
+		t.Errorf("latency count = %d, want 600", rep.LatencyMS.Count)
+	}
+	if rep.LatencyMS.P50 <= 0 || rep.LatencyMS.P99 < rep.LatencyMS.P50 || rep.LatencyMS.Max < rep.LatencyMS.P99 {
+		t.Errorf("implausible latency snapshot: %+v", rep.LatencyMS)
+	}
+	if rep.Throughput.RPS <= 0 {
+		t.Errorf("rps = %v, want > 0", rep.Throughput.RPS)
+	}
+	wantSampled := int64(600 / 4)
+	if rep.Verify.Sampled != wantSampled {
+		t.Errorf("sampled = %d, want %d", rep.Verify.Sampled, wantSampled)
+	}
+	if rep.Verify.AuditOK != wantSampled || rep.Verify.AuditViolations != 0 {
+		t.Errorf("audit: %+v", rep.Verify)
+	}
+	if rep.Verify.OracleMatches != wantSampled || rep.Verify.OracleMismatch != 0 {
+		t.Errorf("oracle equivalence: %+v", rep.Verify)
+	}
+	// The server's own books must balance: everything submitted was either
+	// served from cache or finished, and nothing was rejected or quarantined.
+	srv := rep.Server
+	if srv["ldivd_jobs_submitted_total"] == 0 {
+		t.Errorf("server metrics recorded no submissions: %v", srv)
+	}
+	if got := srv["ldivd_cache_hits_total"] + srv["ldivd_cache_misses_total"]; got != 600 {
+		t.Errorf("cache hits + misses = %d, want 600: %v", got, srv)
+	}
+	if srv["ldivd_jobs_done_total"] != 600 {
+		t.Errorf("jobs done = %d, want 600: %v", srv["ldivd_jobs_done_total"], srv)
+	}
+	if srv["ldivd_jobs_rejected_total"] != 0 || srv["ldivd_jobs_quarantined_total"] != 0 {
+		t.Errorf("server shed or quarantined work: %v", srv)
+	}
+}
+
+// TestRunAnatomyRoundTrips covers the two-table release path: the ST part is
+// fetched, audited, and byte-compared alongside the QIT.
+func TestRunAnatomyRoundTrips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("anatomy round trips are covered by the full run")
+	}
+	ts := startServer(t, service.Config{QueueDepth: 2048})
+	r := &loadgen.Runner{
+		BaseURL: ts.URL,
+		Scenario: loadgen.Scenario{
+			Name:         "race-anatomy",
+			Algorithm:    "anatomy",
+			L:            2,
+			Rows:         300,
+			QICols:       3,
+			Concurrency:  8,
+			RoundTrips:   80,
+			UniqueBodies: 6,
+			SampleEvery:  2,
+			Seed:         7,
+		},
+		Logf: t.Logf,
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Throughput.Succeeded != 80 || rep.Errors != (loadgen.ErrorStats{}) {
+		t.Errorf("succeeded = %d, errors = %+v", rep.Throughput.Succeeded, rep.Errors)
+	}
+	if rep.Verify.Sampled != 40 || rep.Verify.OracleMismatch != 0 || rep.Verify.AuditViolations != 0 {
+		t.Errorf("verification: %+v", rep.Verify)
+	}
+}
+
+// TestRunOpenLoop drives the fixed-rate loop briefly and checks the report
+// stays internally consistent when ticks outrun the in-flight cap.
+func TestRunOpenLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("open-loop timing run")
+	}
+	ts := startServer(t, service.Config{QueueDepth: 2048})
+	r := &loadgen.Runner{
+		BaseURL: ts.URL,
+		Scenario: loadgen.Scenario{
+			Name:         "race-openloop",
+			Algorithm:    "tp+",
+			L:            2,
+			Rows:         200,
+			QICols:       3,
+			Concurrency:  8,
+			RatePerSec:   400,
+			Duration:     time.Second,
+			UniqueBodies: 6,
+			SampleEvery:  8,
+			Seed:         3,
+		},
+		Logf: t.Logf,
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Scenario.RatePerSec != 400 {
+		t.Errorf("rate echo = %v, want 400", rep.Scenario.RatePerSec)
+	}
+	if rep.Throughput.RoundTrips == 0 {
+		t.Error("open loop started no round trips")
+	}
+	if rep.Errors.LostJobs != 0 {
+		t.Errorf("%d lost jobs", rep.Errors.LostJobs)
+	}
+	// Offered-minus-skipped must equal what actually ran.
+	if rep.Throughput.Succeeded > rep.Throughput.RoundTrips {
+		t.Errorf("succeeded %d > round trips %d", rep.Throughput.Succeeded, rep.Throughput.RoundTrips)
+	}
+}
+
+// TestRunRejectsImpossibleScenario: a scenario whose l exceeds what the table
+// can ever satisfy must fail fast with a diagnosis, not spin.
+func TestRunRejectsImpossibleScenario(t *testing.T) {
+	ts := startServer(t, service.Config{})
+	r := &loadgen.Runner{
+		BaseURL: ts.URL,
+		Scenario: loadgen.Scenario{
+			Name: "impossible", Algorithm: "tp+", L: 50, Rows: 20,
+			UniqueBodies: 2, Concurrency: 1, RoundTrips: 1,
+		},
+	}
+	_, err := r.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "eligible") {
+		t.Fatalf("err = %v, want an eligibility diagnosis", err)
+	}
+}

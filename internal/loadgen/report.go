@@ -1,0 +1,248 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+)
+
+// This file owns the BENCH_*.json format — the repo's machine-readable
+// benchmark trajectory. The schema is a stable contract: every perf PR
+// produces a BENCH file, and scripts/bench-compare.sh diffs two of them to
+// gate regressions, so fields may be added but never renamed, repurposed, or
+// reordered without bumping SchemaVersion. docs/ARCHITECTURE.md documents the
+// schema; TestWriteBenchGolden pins the exact bytes of a canned run.
+
+// SchemaVersion identifies the BENCH_*.json layout. Bump it only when a field
+// is renamed or changes meaning; adding fields is backward compatible.
+const SchemaVersion = 1
+
+// Report is one load-test run: the scenario that was driven, what the client
+// measured, and what the server's own metrics endpoint reported. Field order
+// is the JSON order; keep the stable identity block (schema, scenario, start)
+// first so BENCH diffs lead with context.
+type Report struct {
+	SchemaVersion   int          `json:"schema_version"`
+	Scenario        ScenarioInfo `json:"scenario"`
+	StartedAt       string       `json:"started_at"` // RFC3339 UTC, from the runner's clock
+	DurationSeconds float64      `json:"duration_seconds"`
+
+	Throughput ThroughputStats `json:"throughput"`
+	// LatencyMS summarizes successful round-trip latencies
+	// (submit -> terminal poll -> result fetched), in milliseconds.
+	LatencyMS LatencySnapshot `json:"latency_ms"`
+	Errors    ErrorStats      `json:"errors"`
+	// Server holds the delta of every ldivd_* counter scraped from the
+	// server's /metrics endpoint across the run (after minus before), so the
+	// server's own error taxonomy (retries, quarantines, shed jobs, tenant
+	// rejections) rides along with the client's view. encoding/json sorts the
+	// keys, keeping the output deterministic.
+	Server map[string]int64 `json:"server"`
+	Verify VerifyStats      `json:"verify"`
+}
+
+// ScenarioInfo is the scenario echo embedded in a report, so a BENCH file is
+// self-describing and compare can refuse to diff unlike workloads.
+type ScenarioInfo struct {
+	Name        string  `json:"name"`
+	Algorithm   string  `json:"algorithm"`
+	L           int     `json:"l"`
+	Rows        int     `json:"rows"`
+	QICols      int     `json:"qi_cols"`
+	Tenants     int     `json:"tenants"`
+	Concurrency int     `json:"concurrency"`
+	RatePerSec  float64 `json:"rate_per_sec,omitempty"` // 0 = closed loop
+	Store       bool    `json:"store"`
+	Seed        int64   `json:"seed"`
+}
+
+// ThroughputStats counts completed round trips.
+type ThroughputStats struct {
+	// RoundTrips counts attempts that reached a final outcome, including
+	// rejected and failed ones.
+	RoundTrips int64 `json:"round_trips"`
+	// Succeeded counts round trips that fetched a result.
+	Succeeded int64 `json:"succeeded"`
+	// RPS is Succeeded divided by the measured run duration.
+	RPS float64 `json:"rps"`
+}
+
+// ErrorStats is the client-observed error taxonomy, keyed by the server's
+// typed error codes rather than bare status codes so a 429 from a tenant
+// quota is distinguishable from a 429 shed off a full queue.
+type ErrorStats struct {
+	SubmitQueueFull   int64 `json:"submit_429_queue_full"`
+	SubmitTenantQuota int64 `json:"submit_429_tenant_quota"`
+	SubmitTooLarge    int64 `json:"submit_413_too_large"`
+	SubmitDraining    int64 `json:"submit_503_draining"`
+	SubmitOther       int64 `json:"submit_other"`
+	JobFailed         int64 `json:"job_failed"`
+	JobQuarantined    int64 `json:"job_quarantined"`
+	PollTimeouts      int64 `json:"poll_timeouts"`
+	TransportErrors   int64 `json:"transport_errors"`
+	// StatusEvicted counts accepted jobs whose status entry the server's
+	// finished-job retention bound evicted before the client observed the
+	// terminal state: the work finished, the outcome is unobservable. A
+	// nonzero value means -retain is too tight for the polling cadence.
+	StatusEvicted int64 `json:"status_404_evicted"`
+	// OpenLoopSkipped counts open-loop ticks dropped because every in-flight
+	// slot was busy (the offered rate exceeded what Concurrency can carry).
+	OpenLoopSkipped int64 `json:"open_loop_skipped"`
+	// LostJobs counts jobs the server acknowledged (202) that never reached a
+	// terminal state, even after the post-run drain sweep. Any value above
+	// zero is a correctness failure, and compare gates on it uncondition-
+	// ally.
+	LostJobs int64 `json:"lost_jobs"`
+}
+
+// VerifyStats reports the sampled correctness checks: every sampled result is
+// audited with internal/audit (via ldiv.VerifyRelease) and byte-compared
+// against the library oracle computed from the same input bytes.
+type VerifyStats struct {
+	Sampled         int64 `json:"sampled"`
+	AuditOK         int64 `json:"audit_ok"`
+	AuditViolations int64 `json:"audit_violations"`
+	OracleMatches   int64 `json:"oracle_matches"`
+	OracleMismatch  int64 `json:"oracle_mismatches"`
+}
+
+// BenchFileName returns the canonical file name of a scenario's report:
+// BENCH_<scenario>.json, with path-hostile characters mapped to '-'.
+func BenchFileName(scenario string) string {
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '-'
+		}
+	}, scenario)
+	return "BENCH_" + clean + ".json"
+}
+
+// WriteBench writes a report in the canonical BENCH encoding: two-space
+// indented JSON with a trailing newline. The encoding is deterministic for a
+// given report (struct fields keep declaration order; the Server map is
+// key-sorted by encoding/json), so BENCH diffs between PRs stay reviewable.
+func WriteBench(w io.Writer, r *Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// ReadBench parses a BENCH file, rejecting unknown schema versions.
+func ReadBench(r io.Reader) (*Report, error) {
+	var rep Report
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("loadgen: parsing the BENCH file: %w", err)
+	}
+	if rep.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("loadgen: BENCH schema version %d, this tool understands %d",
+			rep.SchemaVersion, SchemaVersion)
+	}
+	return &rep, nil
+}
+
+// ReadBenchFile parses the BENCH file at path.
+func ReadBenchFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep, err := ReadBench(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// CompareOptions tune the regression gate.
+type CompareOptions struct {
+	// MaxP99RegressPct fails the comparison when the new p99 exceeds the old
+	// by more than this percentage. 0 picks the default (25).
+	MaxP99RegressPct float64
+	// MaxThroughputRegressPct fails when throughput (RPS) drops by more than
+	// this percentage. 0 picks the default (25).
+	MaxThroughputRegressPct float64
+}
+
+// DefaultMaxRegressPct is the default p99/throughput regression tolerance.
+const DefaultMaxRegressPct = 25.0
+
+// Compare diffs a new report against an old baseline and returns the list of
+// regressions (empty = the gate passes). Perf regressions (p99, throughput)
+// are gated by the configured tolerances; correctness regressions (lost jobs,
+// audit violations, oracle mismatches in the new run) fail unconditionally.
+func Compare(old, run *Report, opts CompareOptions) []string {
+	if opts.MaxP99RegressPct <= 0 {
+		opts.MaxP99RegressPct = DefaultMaxRegressPct
+	}
+	if opts.MaxThroughputRegressPct <= 0 {
+		opts.MaxThroughputRegressPct = DefaultMaxRegressPct
+	}
+	var regressions []string
+	if old.Scenario.Name != run.Scenario.Name {
+		regressions = append(regressions, fmt.Sprintf(
+			"scenario mismatch: baseline ran %q, new run ran %q — BENCH files are only comparable per scenario",
+			old.Scenario.Name, run.Scenario.Name))
+		return regressions
+	}
+	if run.Errors.LostJobs > 0 {
+		regressions = append(regressions, fmt.Sprintf(
+			"correctness: %d acknowledged jobs never reached a terminal state", run.Errors.LostJobs))
+	}
+	if run.Verify.AuditViolations > 0 {
+		regressions = append(regressions, fmt.Sprintf(
+			"correctness: %d of %d sampled results failed the internal/audit verdict",
+			run.Verify.AuditViolations, run.Verify.Sampled))
+	}
+	if run.Verify.OracleMismatch > 0 {
+		regressions = append(regressions, fmt.Sprintf(
+			"correctness: %d of %d sampled results were not byte-identical to the library oracle",
+			run.Verify.OracleMismatch, run.Verify.Sampled))
+	}
+	if old.LatencyMS.P99 > 0 && run.LatencyMS.P99 > old.LatencyMS.P99 {
+		pct := (run.LatencyMS.P99 - old.LatencyMS.P99) / old.LatencyMS.P99 * 100
+		if pct > opts.MaxP99RegressPct {
+			regressions = append(regressions, fmt.Sprintf(
+				"p99 latency regressed %.1f%% (%.3fms -> %.3fms, tolerance %.0f%%)",
+				pct, old.LatencyMS.P99, run.LatencyMS.P99, opts.MaxP99RegressPct))
+		}
+	}
+	if old.Throughput.RPS > 0 && run.Throughput.RPS < old.Throughput.RPS {
+		pct := (old.Throughput.RPS - run.Throughput.RPS) / old.Throughput.RPS * 100
+		if pct > opts.MaxThroughputRegressPct {
+			regressions = append(regressions, fmt.Sprintf(
+				"throughput regressed %.1f%% (%.2f rps -> %.2f rps, tolerance %.0f%%)",
+				pct, old.Throughput.RPS, run.Throughput.RPS, opts.MaxThroughputRegressPct))
+		}
+	}
+	return regressions
+}
+
+// Degrade returns a copy of a report with a synthetic perf regression of the
+// given factor injected (p99 multiplied, throughput divided). It exists so
+// the smoke pipeline can prove the compare gate actually gates: a gate that
+// passes everything is worse than no gate.
+func Degrade(r *Report, factor float64) *Report {
+	out := *r
+	out.LatencyMS.P99 *= factor
+	out.LatencyMS.Max *= factor
+	if factor > 0 {
+		out.Throughput.RPS /= factor
+	}
+	return &out
+}
+
+// startedAtFrom formats the runner's clock for the report.
+func startedAtFrom(clock func() time.Time) string {
+	return clock().UTC().Format(time.RFC3339)
+}

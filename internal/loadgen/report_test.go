@@ -1,0 +1,242 @@
+package loadgen
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from the current output")
+
+// cannedReport builds a report from a fully deterministic "run": fixed clock,
+// hand-fed histogram, fixed counters. It stands in for a real run in the
+// golden test, because real latencies are not reproducible but the writer's
+// encoding of them must be.
+func cannedReport() *Report {
+	clock := func() time.Time {
+		return time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	}
+	var h Histogram
+	for ms := 1; ms <= 100; ms++ {
+		h.Observe(time.Duration(ms) * time.Millisecond)
+	}
+	return &Report{
+		SchemaVersion:   SchemaVersion,
+		Scenario:        namedScenarios["smoke"].withDefaults().info(),
+		StartedAt:       startedAtFrom(clock),
+		DurationSeconds: 3.002,
+		Throughput:      ThroughputStats{RoundTrips: 120, Succeeded: 100, RPS: round3(100 / 3.002)},
+		LatencyMS:       h.Snapshot(),
+		Errors: ErrorStats{
+			SubmitQueueFull:   17,
+			SubmitTenantQuota: 3,
+		},
+		Server: map[string]int64{
+			"ldivd_jobs_submitted_total": 103,
+			"ldivd_jobs_done_total":      100,
+			"ldivd_jobs_rejected_total":  20,
+			"ldivd_cache_hits_total":     41,
+		},
+		Verify: VerifyStats{Sampled: 25, AuditOK: 25, OracleMatches: 25},
+	}
+}
+
+// TestWriteBenchGolden pins the exact bytes of a canned run's BENCH file.
+// A diff here means the schema changed: either revert, or bump SchemaVersion,
+// update docs/ARCHITECTURE.md, and regenerate with go test -run Golden -update.
+func TestWriteBenchGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBench(&buf, cannedReport()); err != nil {
+		t.Fatalf("WriteBench: %v", err)
+	}
+	golden := filepath.Join("testdata", "BENCH_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("BENCH encoding changed.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWriteBenchDeterministic(t *testing.T) {
+	rep := cannedReport()
+	var a, b bytes.Buffer
+	if err := WriteBench(&a, rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBench(&b, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two writes of the same report differ")
+	}
+	if !bytes.HasSuffix(a.Bytes(), []byte("}\n")) {
+		t.Error("BENCH file does not end in a newline")
+	}
+}
+
+func TestReadBenchRoundTrip(t *testing.T) {
+	rep := cannedReport()
+	var buf bytes.Buffer
+	if err := WriteBench(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBench(&buf)
+	if err != nil {
+		t.Fatalf("ReadBench: %v", err)
+	}
+	if !reflect.DeepEqual(got, rep) {
+		t.Errorf("round trip changed the report:\ngot  %+v\nwant %+v", got, rep)
+	}
+}
+
+func TestReadBenchRejectsUnknownSchema(t *testing.T) {
+	_, err := ReadBench(strings.NewReader(`{"schema_version": 99}`))
+	if err == nil || !strings.Contains(err.Error(), "schema version 99") {
+		t.Fatalf("err = %v, want a schema-version rejection", err)
+	}
+}
+
+func TestBenchFileName(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"smoke", "BENCH_smoke.json"},
+		{"matrix-tpplus-l2-r500-t1-mem", "BENCH_matrix-tpplus-l2-r500-t1-mem.json"},
+		{"evil/../name", "BENCH_evil----name.json"},
+		{"tp+", "BENCH_tp-.json"},
+	} {
+		if got := BenchFileName(tc.in); got != tc.want {
+			t.Errorf("BenchFileName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestCompareIdenticalPasses(t *testing.T) {
+	rep := cannedReport()
+	if regs := Compare(rep, rep, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("identical reports regressed: %v", regs)
+	}
+}
+
+// TestCompareCatchesSyntheticRegression is the gate's own gate: a baseline
+// compared against a Degrade'd copy of itself must fail on both axes. The
+// smoke pipeline (scripts/loadtest-smoke.sh) re-proves this end to end.
+func TestCompareCatchesSyntheticRegression(t *testing.T) {
+	rep := cannedReport()
+	bad := Degrade(rep, 4)
+	regs := Compare(rep, bad, CompareOptions{})
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want exactly p99 + throughput", regs)
+	}
+	if !strings.Contains(regs[0], "p99") || !strings.Contains(regs[1], "throughput") {
+		t.Fatalf("unexpected regression messages: %v", regs)
+	}
+	// The same degradation within a looser tolerance passes.
+	if regs := Compare(rep, bad, CompareOptions{MaxP99RegressPct: 500, MaxThroughputRegressPct: 500}); len(regs) != 0 {
+		t.Fatalf("regressions within tolerance still flagged: %v", regs)
+	}
+}
+
+func TestCompareCorrectnessGatesUnconditionally(t *testing.T) {
+	rep := cannedReport()
+	bad := *rep
+	bad.Errors.LostJobs = 1
+	bad.Verify.AuditViolations = 2
+	bad.Verify.OracleMismatch = 3
+	// Tolerances cannot excuse correctness failures.
+	regs := Compare(rep, &bad, CompareOptions{MaxP99RegressPct: 1e9, MaxThroughputRegressPct: 1e9})
+	if len(regs) != 3 {
+		t.Fatalf("regressions = %v, want lost-jobs + audit + oracle", regs)
+	}
+	for i, want := range []string{"terminal state", "audit", "byte-identical"} {
+		if !strings.Contains(regs[i], want) {
+			t.Errorf("regs[%d] = %q, want mention of %q", i, regs[i], want)
+		}
+	}
+}
+
+func TestCompareRefusesScenarioMismatch(t *testing.T) {
+	a := cannedReport()
+	b := cannedReport()
+	b.Scenario.Name = "sustained"
+	regs := Compare(a, b, CompareOptions{})
+	if len(regs) != 1 || !strings.Contains(regs[0], "scenario mismatch") {
+		t.Fatalf("regressions = %v, want a single scenario-mismatch refusal", regs)
+	}
+}
+
+func TestParseMetricsAndDelta(t *testing.T) {
+	const text = `# HELP ldivd_jobs_submitted_total jobs
+# TYPE ldivd_jobs_submitted_total counter
+ldivd_jobs_submitted_total 42
+ldivd_jobs_queued 3
+ldivd_avg_runtime_seconds 0.125
+ldivd_labeled_total{tenant="a"} 7
+go_goroutines 12
+`
+	got, err := ParseMetrics(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{
+		"ldivd_jobs_submitted_total": 42,
+		"ldivd_jobs_queued":          3,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ParseMetrics = %v, want %v", got, want)
+	}
+	before := map[string]int64{"ldivd_jobs_submitted_total": 40}
+	delta := MetricsDelta(before, got)
+	if delta["ldivd_jobs_submitted_total"] != 2 || delta["ldivd_jobs_queued"] != 3 {
+		t.Errorf("MetricsDelta = %v", delta)
+	}
+}
+
+func TestNamedScenariosConsistent(t *testing.T) {
+	names := ScenarioNames()
+	if len(names) == 0 {
+		t.Fatal("no named scenarios")
+	}
+	for _, name := range names {
+		sc, ok := NamedScenario(name)
+		if !ok {
+			t.Fatalf("NamedScenario(%q) missing", name)
+		}
+		if sc.Name != name {
+			t.Errorf("scenario %q has Name %q", name, sc.Name)
+		}
+	}
+	if _, ok := NamedScenario("no-such-scenario"); ok {
+		t.Error("NamedScenario invented a scenario")
+	}
+}
+
+func TestMatrixNamesUnique(t *testing.T) {
+	cells := Matrix()
+	if len(cells) != 3*2*2*2*2 {
+		t.Fatalf("matrix has %d cells, want 48", len(cells))
+	}
+	seen := make(map[string]bool, len(cells))
+	for _, sc := range cells {
+		if sc.Name == "" || seen[sc.Name] {
+			t.Fatalf("duplicate or empty matrix name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		if f := BenchFileName(sc.Name); strings.Contains(f, "--") {
+			t.Errorf("matrix name %q needed sanitizing in %q", sc.Name, f)
+		}
+	}
+}

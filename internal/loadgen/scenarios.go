@@ -1,0 +1,116 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// The scenario catalog. Named scenarios are stable workload cells whose
+// BENCH_<name>.json files form the benchmark trajectory across PRs; Matrix
+// expands the full algorithm × l × table-size × tenant-count × store cross
+// product for exhaustive local sweeps.
+
+// namedScenarios is the curated catalog. Names are part of the BENCH file
+// contract: renaming one orphans its trajectory.
+var namedScenarios = map[string]Scenario{
+	// smoke is the CI scenario: small tables, a body pool small enough to
+	// exercise the result cache, two tenants, sampled verification. CI runs
+	// it for 10s (scripts/loadtest-smoke.sh) and gates on the BENCH output.
+	"smoke": {
+		Name: "smoke", Algorithm: "tp+", L: 4, Rows: 400, QICols: 3,
+		Tenants: 2, Concurrency: 8, UniqueBodies: 24, SampleEvery: 4,
+		Duration: 3 * time.Second,
+	},
+	// durable-smoke is smoke with the crash-safe store in the write path, so
+	// the trajectory records what fsync-before-202 costs.
+	"durable-smoke": {
+		Name: "durable-smoke", Algorithm: "tp+", L: 4, Rows: 400, QICols: 3,
+		Tenants: 2, Concurrency: 8, UniqueBodies: 24, SampleEvery: 4,
+		Duration: 3 * time.Second, Store: true,
+	},
+	// sustained drives bigger tables with a large body pool (mostly cache
+	// misses), approximating steady production compute load.
+	"sustained": {
+		Name: "sustained", Algorithm: "tp+", L: 6, Rows: 4000, QICols: 4,
+		Tenants: 4, Concurrency: 16, UniqueBodies: 96, SampleEvery: 16,
+		Duration: 30 * time.Second,
+	},
+	// multitenant spreads load across many tenants so per-tenant quotas and
+	// the bucket map are on the hot path.
+	"multitenant": {
+		Name: "multitenant", Algorithm: "tp+", L: 4, Rows: 1000, QICols: 3,
+		Tenants: 16, Concurrency: 16, UniqueBodies: 48, SampleEvery: 8,
+		Duration: 10 * time.Second,
+	},
+	// anatomy exercises the two-table release path (QIT + ST fetch, anatomy
+	// oracle and auditor).
+	"anatomy": {
+		Name: "anatomy", Algorithm: "anatomy", L: 4, Rows: 1000, QICols: 3,
+		Tenants: 2, Concurrency: 8, UniqueBodies: 24, SampleEvery: 4,
+		Duration: 5 * time.Second,
+	},
+	// openloop offers a fixed 200 rps regardless of completions — the regime
+	// where shedding and Retry-After matter.
+	"openloop": {
+		Name: "openloop", Algorithm: "tp+", L: 4, Rows: 1000, QICols: 3,
+		Tenants: 4, Concurrency: 32, UniqueBodies: 48, SampleEvery: 8,
+		Duration: 10 * time.Second, RatePerSec: 200,
+	},
+}
+
+// NamedScenario returns a catalog scenario by name.
+func NamedScenario(name string) (Scenario, bool) {
+	sc, ok := namedScenarios[name]
+	return sc, ok
+}
+
+// ScenarioNames lists the catalog in sorted order.
+func ScenarioNames() []string {
+	names := make([]string, 0, len(namedScenarios))
+	for name := range namedScenarios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Matrix expands the full scenario cross product — algorithm × l × table
+// size × tenant count × store on/off — with generated names of the form
+// matrix-<algo>-l<l>-r<rows>-t<tenants>-<mem|disk>. Each cell runs briefly;
+// the point of the matrix is coverage, not statistical power.
+func Matrix() []Scenario {
+	var out []Scenario
+	for _, algo := range []string{"tp+", "anatomy", "mondrian"} {
+		for _, l := range []int{2, 6} {
+			for _, rows := range []int{500, 4000} {
+				for _, tenants := range []int{1, 4} {
+					for _, store := range []bool{false, true} {
+						mode := "mem"
+						if store {
+							mode = "disk"
+						}
+						out = append(out, Scenario{
+							Name: fmt.Sprintf("matrix-%s-l%d-r%d-t%d-%s",
+								sanitizeAlgo(algo), l, rows, tenants, mode),
+							Algorithm: algo, L: l, Rows: rows, QICols: 3,
+							Tenants: tenants, Concurrency: 8,
+							UniqueBodies: 16, SampleEvery: 8,
+							Duration: 2 * time.Second, Store: store,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// sanitizeAlgo maps algorithm names into the BENCH file-name alphabet
+// ("tp+" -> "tpplus").
+func sanitizeAlgo(algo string) string {
+	if algo == "tp+" {
+		return "tpplus"
+	}
+	return algo
+}

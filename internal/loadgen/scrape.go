@@ -1,0 +1,75 @@
+package loadgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics scraping: the load generator reads the server's own Prometheus
+// /metrics endpoint before and after a run and reports the delta, so the
+// BENCH file carries the server-side error taxonomy (retries, quarantines,
+// shed jobs, store errors, tenant rejections) next to the client-observed
+// one. Only plain integer-valued series are kept — histograms and float
+// gauges are summarized elsewhere.
+
+// ScrapeMetrics fetches baseURL's /metrics endpoint and returns every plain
+// integer-valued ldivd_* series.
+func ScrapeMetrics(client *http.Client, baseURL string) (map[string]int64, error) {
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: GET /metrics: status %d", resp.StatusCode)
+	}
+	return ParseMetrics(resp.Body)
+}
+
+// ParseMetrics parses the Prometheus text exposition format, keeping series
+// that are unlabeled ldivd_* names with integer values.
+func ParseMetrics(r io.Reader) (map[string]int64, error) {
+	out := make(map[string]int64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, value, ok := strings.Cut(line, " ")
+		if !ok || !strings.HasPrefix(name, "ldivd_") || strings.Contains(name, "{") {
+			continue
+		}
+		v, err := strconv.ParseInt(strings.TrimSpace(value), 10, 64)
+		if err != nil {
+			continue // float-valued series (histogram sums) are not counters
+		}
+		out[name] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MetricsDelta subtracts the before scrape from the after scrape, keeping
+// every series present after the run (a counter absent before starts at 0).
+// Iteration feeds a sort so the result is assembled in deterministic order.
+func MetricsDelta(before, after map[string]int64) map[string]int64 {
+	names := make([]string, 0, len(after))
+	for name := range after {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make(map[string]int64, len(names))
+	for _, name := range names {
+		out[name] = after[name] - before[name]
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"mime/multipart"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Tests for the admission-control edges: token-bucket eviction under an
+// unbounded tenant-name space, the Retry-After estimate before any runtime
+// has been measured, and the oversized-body boundaries of both body-carrying
+// endpoints.
+
+// fakeClock is a manually advanced clock for limiter tests.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) advance(d time.Duration) { c.now = c.now.Add(d) }
+
+func TestTenantLimiterIdleEviction(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	// burst 1 at 10 qps: a bucket is "idle" (fully refilled) after 100ms.
+	l := newTenantLimiter(10, 1, clock.Now)
+
+	for i := 0; i < maxTenantBuckets; i++ {
+		if ok, _ := l.admit(fmt.Sprintf("t%04d", i)); !ok {
+			t.Fatalf("fresh tenant %d denied", i)
+		}
+	}
+	if got := len(l.buckets); got != maxTenantBuckets {
+		t.Fatalf("bucket count = %d, want %d", got, maxTenantBuckets)
+	}
+
+	// Below-capacity inserts never evict: the map only reached capacity, so
+	// the next admit (which grows past it) is the first allowed to evict —
+	// but only buckets that have refilled. Nothing has been idle yet.
+	clock.advance(50 * time.Millisecond) // under the 100ms idle threshold
+	if ok, _ := l.admit("early-bird"); !ok {
+		t.Fatal("new tenant denied at capacity")
+	}
+	if got := len(l.buckets); got != maxTenantBuckets+1 {
+		t.Fatalf("bucket count = %d after non-idle eviction pass, want %d (nothing was evictable)",
+			got, maxTenantBuckets+1)
+	}
+
+	// Once every old bucket has fully refilled, inserting a new tenant at
+	// capacity sweeps them all; recently active tenants survive.
+	clock.advance(time.Second)
+	if ok, _ := l.admit("t0007"); !ok { // refreshes t0007's last-used time
+		t.Fatal("returning tenant denied")
+	}
+	if ok, _ := l.admit("newcomer"); !ok {
+		t.Fatal("newcomer denied")
+	}
+	if l.buckets["t0007"] == nil {
+		t.Error("recently active tenant was evicted")
+	}
+	if l.buckets["newcomer"] == nil {
+		t.Error("newcomer has no bucket")
+	}
+	if got := len(l.buckets); got >= maxTenantBuckets {
+		t.Errorf("bucket count = %d after eviction, want far fewer than %d", got, maxTenantBuckets)
+	}
+}
+
+func TestTenantLimiterDenialAndRefill(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	l := newTenantLimiter(1, 1, clock.Now) // 1 qps, burst 1
+
+	if ok, _ := l.admit("a"); !ok {
+		t.Fatal("first request denied")
+	}
+	ok, wait := l.admit("a")
+	if ok {
+		t.Fatal("second request in the same instant admitted past the burst")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Fatalf("denial wait = %v, want in (0, 1s]", wait)
+	}
+	// Another tenant is unaffected.
+	if ok, _ := l.admit("b"); !ok {
+		t.Fatal("an unrelated tenant was denied")
+	}
+	// After the advertised wait the token exists again.
+	clock.advance(wait)
+	if ok, _ := l.admit("a"); !ok {
+		t.Fatal("request denied after the advertised wait")
+	}
+}
+
+func TestRetryAfterColdStart(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+
+	// Before any job finishes the runtime EWMA is zero and the estimate
+	// degrades to one second per pending job, spread over the workers —
+	// never zero, never negative, and clamped at 300.
+	tests := []struct {
+		pending int
+		want    int
+	}{
+		{pending: 0, want: 1},      // ceil(1*1/2)
+		{pending: 5, want: 3},      // ceil(6*1/2)
+		{pending: 1000, want: 300}, // clamped
+	}
+	for _, tc := range tests {
+		if got := s.retryAfterSeconds(tc.pending); got != tc.want {
+			t.Errorf("cold retryAfterSeconds(%d) = %d, want %d", tc.pending, got, tc.want)
+		}
+	}
+
+	// Once a runtime has been measured the estimate scales with it.
+	s.metrics.observeRuntime(4.0)
+	if got := s.retryAfterSeconds(1); got != 4 { // ceil(2*4/2)
+		t.Errorf("warm retryAfterSeconds(1) = %d, want 4", got)
+	}
+}
+
+func TestSubmitBodySizeBoundary(t *testing.T) {
+	// A body of exactly MaxBodyBytes is accepted; one byte more is shed with
+	// the typed 413.
+	_, ts := newTestServer(t, Config{Workers: 1, MaxBodyBytes: int64(len(sampleCSV))})
+	code, _, _ := submit(t, ts, "algo=tp&l=2&qi=Age,Gender&sa=Disease", sampleCSV)
+	if code != http.StatusAccepted {
+		t.Fatalf("exact-size body got %d, want 202", code)
+	}
+	code, _, apiErr := submit(t, ts, "algo=tp&l=2&qi=Age,Gender&sa=Disease", sampleCSV+"\n")
+	if code != http.StatusRequestEntityTooLarge || apiErr.Error.Code != "body_too_large" {
+		t.Fatalf("oversized body got %d/%s, want 413/body_too_large", code, apiErr.Error.Code)
+	}
+}
+
+func TestVerifyOversizedBodyRetryAfter(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxBodyBytes: 256})
+
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	orig, err := mw.CreateFormFile("original", "original.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := orig.Write([]byte(strings.Repeat("x,y,z\n", 200))); err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/verify?l=2&qi=Age&sa=Disease", mw.FormDataContentType(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+	// Unlike the submit path, the multipart 413 advertises the backlog delay:
+	// a client that shrinks its parts and resubmits should know when.
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
+		t.Fatal("413 response carries no Retry-After header")
+	}
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 || secs > 300 {
+		t.Fatalf("Retry-After = %q, want an integer in [1, 300]", ra)
+	}
+}

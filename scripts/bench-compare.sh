@@ -1,0 +1,26 @@
+#!/bin/sh
+# bench-compare.sh gates perf regressions between two BENCH_*.json files
+# produced by cmd/ldivload: it exits nonzero when the new run's p99 latency or
+# throughput regressed past the tolerance, or when the new run had any
+# correctness failure (lost jobs, audit violations, oracle mismatches — those
+# are gated unconditionally, no tolerance applies).
+#
+# Usage: scripts/bench-compare.sh BASELINE.json NEW.json [MAX_REGRESS_PCT]
+#
+# MAX_REGRESS_PCT defaults to 25 — appropriate when both files came from the
+# same machine. Comparing across machines (e.g. a checked-in baseline against
+# a CI runner) needs a much looser bound; scripts/loadtest-smoke.sh uses
+# BENCH_MAX_REGRESS for that.
+set -eu
+
+if [ $# -lt 2 ]; then
+    echo "usage: $0 BASELINE.json NEW.json [MAX_REGRESS_PCT]" >&2
+    exit 2
+fi
+BASELINE="$1"
+NEW="$2"
+TOLERANCE="${3:-25}"
+
+exec go run ./cmd/ldivload \
+    -compare "$BASELINE" -against "$NEW" \
+    -max-p99-regress "$TOLERANCE" -max-tput-regress "$TOLERANCE"

@@ -1,0 +1,49 @@
+#!/bin/sh
+# loadtest-smoke.sh is the CI load-test gate. It runs the smoke scenario of
+# cmd/ldivload against an in-process ldivd for LOADTEST_DURATION (default
+# 10s), writing bench/BENCH_smoke.json, and then proves three things:
+#
+#   1. the run itself was clean — ldivload exits nonzero on lost jobs, audit
+#      violations, or oracle mismatches, so thousands of concurrent round
+#      trips with sampled byte-equivalence checks ride along for free;
+#   2. the run is within BENCH_MAX_REGRESS percent (default 300 — CI runners
+#      are not the baseline machine) of the checked-in seed baseline in
+#      bench/baselines/, which still catches order-of-magnitude collapses;
+#   3. the gate actually gates — a 4x synthetic regression injected with
+#      -degrade must make bench-compare fail. A gate that passes everything
+#      is worse than no gate.
+#
+# Requires: go. Produces: bench/BENCH_smoke.json (uploaded as a CI artifact).
+set -eu
+
+DURATION="${LOADTEST_DURATION:-10s}"
+MAX_REGRESS="${BENCH_MAX_REGRESS:-300}"
+OUT="${LOADTEST_OUT:-bench}"
+BASELINE="bench/baselines/BENCH_smoke.json"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+echo "loadtest-smoke: running the smoke scenario for $DURATION"
+go run ./cmd/ldivload -scenario smoke -duration "$DURATION" -out "$OUT"
+BENCH="$OUT/BENCH_smoke.json"
+
+echo "loadtest-smoke: self-comparison (sanity: a run never regresses against itself)"
+./scripts/bench-compare.sh "$BENCH" "$BENCH"
+
+if [ -f "$BASELINE" ]; then
+    echo "loadtest-smoke: comparing against $BASELINE (tolerance ${MAX_REGRESS}%)"
+    ./scripts/bench-compare.sh "$BASELINE" "$BENCH" "$MAX_REGRESS"
+else
+    echo "loadtest-smoke: no baseline at $BASELINE, skipping the trajectory gate" >&2
+fi
+
+echo "loadtest-smoke: proving the gate gates (4x synthetic regression must fail)"
+go run ./cmd/ldivload -degrade "$BENCH" -factor 4 -o "$TMP/degraded.json"
+if ./scripts/bench-compare.sh "$BENCH" "$TMP/degraded.json" >"$TMP/gate.log" 2>&1; then
+    echo "loadtest-smoke: FAIL — bench-compare passed a 4x synthetic regression" >&2
+    cat "$TMP/gate.log" >&2
+    exit 1
+fi
+
+echo "loadtest-smoke: ok ($BENCH)"
