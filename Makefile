@@ -8,7 +8,7 @@ CORE_BENCH := BenchmarkAnonymize|BenchmarkPhase3Heavy|BenchmarkTPCore|BenchmarkT
 # with, and the end-to-end anonymization that sits on top of them.
 TABLE_BENCH := BenchmarkTableOps|BenchmarkGroupByQI|BenchmarkAnonymize$$
 
-.PHONY: all build test race bench bench-table bench-table-smoke bench-smoke loadtest-smoke bench-compare fmt vet lint run-server smoke-server docs-lint fuzz-smoke cover
+.PHONY: all build test race bench bench-table bench-table-smoke bench-smoke loadtest-smoke loadtest-sustained profile bench-compare fmt vet lint run-server smoke-server docs-lint fuzz-smoke cover
 
 all: build test lint
 
@@ -58,6 +58,20 @@ bench-smoke:
 # injecting a synthetic regression that must fail. CI runs this on every push.
 loadtest-smoke:
 	./scripts/loadtest-smoke.sh
+
+# profile captures pprof CPU + allocation profiles of the SAL-4 timing
+# workload (ldivbench -fig 4) under bench/profiles/ and validates them with
+# `go tool pprof -top`; EXPERIMENTS.md's before/after tables cite its output.
+# Smoke mode (CI): `make profile PROFILE_ROWS=2000`.
+profile:
+	PROFILE_FIG=$(PROFILE_FIG) PROFILE_ROWS=$(PROFILE_ROWS) PROFILE_OUT=$(PROFILE_OUT) ./scripts/profile.sh
+
+# loadtest-sustained runs the sustained load-test scenario (steady concurrent
+# load, larger tables than smoke) and gates it against the checked-in
+# baseline, exactly like loadtest-smoke does for the smoke scenario:
+# `make loadtest-sustained` or, in CI, with a short LOADTEST_DURATION.
+loadtest-sustained:
+	LOADTEST_SCENARIO=sustained ./scripts/loadtest-smoke.sh
 
 # bench-compare gates two BENCH_*.json files produced by cmd/ldivload:
 # `make bench-compare OLD=bench/baselines/BENCH_smoke.json NEW=bench/BENCH_smoke.json`

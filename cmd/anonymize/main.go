@@ -22,13 +22,14 @@ import (
 
 // options is the parsed and validated command line of anonymize.
 type options struct {
-	in     string
-	out    string
-	qiCols []string
-	sa     string
-	l      int
-	algo   string
-	stats  bool
+	in      string
+	out     string
+	qiCols  []string
+	sa      string
+	l       int
+	algo    string
+	stats   bool
+	workers int
 }
 
 // errFlagParse marks errors the ContinueOnError FlagSet has already printed
@@ -48,6 +49,7 @@ func parseOptions(args []string) (options, *flag.FlagSet, error) {
 	l := fs.Int("l", 2, "diversity parameter l")
 	algo := fs.String("algo", "tp+", "algorithm: tp, tp+, hilbert, tds, mondrian, incognito")
 	stats := fs.Bool("stats", true, "print information-loss statistics to stderr")
+	workers := fs.Int("workers", 0, "worker bound for the TP core's parallel stages (0 = one per CPU; only tp and tp+ use it)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return options{}, fs, err
@@ -67,18 +69,22 @@ func parseOptions(args []string) (options, *flag.FlagSet, error) {
 	if *l < 1 {
 		return options{}, fs, fmt.Errorf("invalid -l %d: l must be at least 1", *l)
 	}
+	if *workers < 0 {
+		return options{}, fs, fmt.Errorf("invalid -workers %d: must be 0 (one per CPU) or positive", *workers)
+	}
 	qiCols := strings.Split(*qi, ",")
 	for i := range qiCols {
 		qiCols[i] = strings.TrimSpace(qiCols[i])
 	}
 	return options{
-		in:     *in,
-		out:    *out,
-		qiCols: qiCols,
-		sa:     *sa,
-		l:      *l,
-		algo:   algorithm,
-		stats:  *stats,
+		in:      *in,
+		out:     *out,
+		qiCols:  qiCols,
+		sa:      *sa,
+		l:       *l,
+		algo:    algorithm,
+		stats:   *stats,
+		workers: *workers,
 	}, fs, nil
 }
 
@@ -118,7 +124,7 @@ func main() {
 			opts.l, opts.l, ldiv.MaxEligibleL(t))
 	}
 
-	gen, phase, err := ldiv.AnonymizeWith(t, opts.l, opts.algo)
+	gen, phase, err := ldiv.AnonymizeWithWorkers(t, opts.l, opts.algo, opts.workers)
 	if err != nil {
 		log.Fatal(err)
 	}

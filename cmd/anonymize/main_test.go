@@ -13,21 +13,25 @@ import (
 func TestParseOptions(t *testing.T) {
 	base := []string{"-qi", "Age,Gender", "-sa", "Disease"}
 	tests := []struct {
-		name     string
-		args     []string
-		wantErr  string // substring of the expected error, "" for success
-		wantAlgo string
-		wantL    int
+		name        string
+		args        []string
+		wantErr     string // substring of the expected error, "" for success
+		wantAlgo    string
+		wantL       int
+		wantWorkers int
 	}{
 		{name: "defaults", args: base, wantAlgo: "tp+", wantL: 2},
 		{name: "tpplus spelling", args: append([]string{"-algo", "TPPlus"}, base...), wantAlgo: "tp+", wantL: 2},
 		{name: "tp", args: append([]string{"-algo", "tp", "-l", "4"}, base...), wantAlgo: "tp", wantL: 4},
 		{name: "hilbert", args: append([]string{"-algo", "hilbert"}, base...), wantAlgo: "hilbert", wantL: 2},
+		{name: "explicit workers", args: append([]string{"-workers", "4"}, base...), wantAlgo: "tp+", wantL: 2, wantWorkers: 4},
+		{name: "serial workers", args: append([]string{"-workers", "1"}, base...), wantAlgo: "tp+", wantL: 2, wantWorkers: 1},
 		{name: "unknown algorithm", args: append([]string{"-algo", "k-anon"}, base...), wantErr: "unknown algorithm"},
 		{name: "anatomy rejected", args: append([]string{"-algo", "anatomy"}, base...), wantErr: "use the ldivd server"},
 		{name: "missing qi and sa", args: nil, wantErr: "-qi and -sa are required"},
 		{name: "missing sa", args: []string{"-qi", "Age"}, wantErr: "-qi and -sa are required"},
 		{name: "invalid l", args: append([]string{"-l", "0"}, base...), wantErr: "invalid -l"},
+		{name: "negative workers", args: append([]string{"-workers", "-2"}, base...), wantErr: "invalid -workers"},
 		{name: "unknown flag", args: []string{"-nope"}, wantErr: "flag parse error"},
 	}
 	for _, tc := range tests {
@@ -42,8 +46,8 @@ func TestParseOptions(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if opts.algo != tc.wantAlgo || opts.l != tc.wantL {
-				t.Errorf("opts = %+v, want algo %q l %d", opts, tc.wantAlgo, tc.wantL)
+			if opts.algo != tc.wantAlgo || opts.l != tc.wantL || opts.workers != tc.wantWorkers {
+				t.Errorf("opts = %+v, want algo %q l %d workers %d", opts, tc.wantAlgo, tc.wantL, tc.wantWorkers)
 			}
 			if len(opts.qiCols) != 2 || opts.qiCols[0] != "Age" || opts.qiCols[1] != "Gender" {
 				t.Errorf("qiCols = %v", opts.qiCols)
@@ -116,6 +120,31 @@ func TestAnonymizeWithDispatchesEveryAlgorithm(t *testing.T) {
 	}
 	if _, _, err := ldiv.AnonymizeWith(tbl, 2, "anatomy"); err == nil {
 		t.Error("anatomy has no generalized form and must be rejected")
+	}
+}
+
+// TestAnonymizeWithWorkersByteIdentical asserts the released CSV is the same
+// byte stream at every worker count, for both algorithms that consume the
+// bound.
+func TestAnonymizeWithWorkersByteIdentical(t *testing.T) {
+	tbl := sampleTable(t)
+	for _, algo := range []string{"tp", "tp+"} {
+		var serial string
+		for _, workers := range []int{1, 2, 8} {
+			gen, _, err := ldiv.AnonymizeWithWorkers(tbl, 2, algo, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", algo, workers, err)
+			}
+			var buf bytes.Buffer
+			if err := ldiv.WriteGeneralizedCSV(&buf, gen); err != nil {
+				t.Fatal(err)
+			}
+			if workers == 1 {
+				serial = buf.String()
+			} else if buf.String() != serial {
+				t.Fatalf("%s: release at workers=%d differs from serial", algo, workers)
+			}
+		}
 	}
 }
 

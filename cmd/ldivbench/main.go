@@ -9,6 +9,7 @@
 //	ldivbench -fig 2 -rows 600000 -projections 0   # paper-scale Figure 2
 //	ldivbench -fig p3                  # phase-three frequency study
 //	ldivbench -fig all -workers 0      # one worker per CPU
+//	ldivbench -fig 4 -cpuprofile cpu.pprof -memprofile mem.pprof  # profile the SAL-4 timing run
 package main
 
 import (
@@ -17,6 +18,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -24,10 +27,12 @@ import (
 )
 
 // options is the parsed command line: the figure selector plus the assembled
-// experiment configuration.
+// experiment configuration and the optional pprof output paths.
 type options struct {
-	fig string
-	cfg experiment.Config
+	fig        string
+	cfg        experiment.Config
+	cpuProfile string
+	memProfile string
 }
 
 // errFlagParse marks errors the ContinueOnError FlagSet has already printed
@@ -48,6 +53,8 @@ func parseOptions(args []string) (options, *flag.FlagSet, error) {
 	seed := fs.Int64("seed", 1, "generator seed")
 	workers := fs.Int("workers", 1, "concurrent experiment cells (1 = serial, 0 = one per CPU)")
 	paper := fs.Bool("paper", false, "use the full paper-scale configuration (slow)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the selected figures to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof allocation profile (after the figures finish) to this file")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return options{}, fs, err
@@ -88,7 +95,7 @@ func parseOptions(args []string) (options, *flag.FlagSet, error) {
 	if want != "all" && !isKnown(want) {
 		return options{}, fs, fmt.Errorf("unknown figure %q", *fig)
 	}
-	return options{fig: want, cfg: cfg}, fs, nil
+	return options{fig: want, cfg: cfg, cpuProfile: *cpuProfile, memProfile: *memProfile}, fs, nil
 }
 
 func main() {
@@ -108,18 +115,58 @@ func main() {
 		}
 		os.Exit(2)
 	}
+	if opts.cpuProfile != "" {
+		f, err := os.Create(opts.cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("starting the CPU profile: %v", err)
+		}
+		// Stop and flush in main rather than in runFigures, so the profile
+		// survives a figure error; log.Fatal inside runFigures would skip it.
+		defer f.Close()
+	}
+
+	err = runFigures(opts)
+
+	if opts.cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if opts.memProfile != "" {
+		f, ferr := os.Create(opts.memProfile)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		runtime.GC() // settle the heap so the allocs profile reflects the run
+		if werr := pprof.Lookup("allocs").WriteTo(f, 0); werr != nil {
+			log.Fatalf("writing the allocation profile: %v", werr)
+		}
+		if cerr := f.Close(); cerr != nil {
+			log.Fatal(cerr)
+		}
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runFigures executes the selected figures. Errors are returned (not
+// log.Fatal'd) so main can flush the pprof profiles first.
+func runFigures(opts options) error {
 	r := experiment.NewRunner(opts.cfg)
 
-	run := func(name string, f func() ([]experiment.Figure, error)) {
+	run := func(name string, f func() ([]experiment.Figure, error)) error {
 		start := time.Now()
 		figs, err := f()
 		if err != nil {
-			log.Fatalf("figure %s: %v", name, err)
+			return fmt.Errorf("figure %s: %v", name, err)
 		}
 		for _, fig := range figs {
 			fmt.Println(experiment.Format(fig))
 		}
 		fmt.Printf("(figure %s completed in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+		return nil
 	}
 
 	selected := func(name string) bool { return opts.fig == "all" || opts.fig == name }
@@ -127,32 +174,25 @@ func main() {
 	if selected("t6") {
 		fmt.Println(experiment.Format(experiment.Table6()))
 	}
-	if selected("2") {
-		run("2", r.Figure2)
+	figures := []struct {
+		name string
+		f    func() ([]experiment.Figure, error)
+	}{
+		{"2", r.Figure2}, {"3", r.Figure3}, {"4", r.Figure4}, {"5", r.Figure5},
+		{"6", r.Figure6}, {"7", r.Figure7}, {"8", r.Figure8},
 	}
-	if selected("3") {
-		run("3", r.Figure3)
-	}
-	if selected("4") {
-		run("4", r.Figure4)
-	}
-	if selected("5") {
-		run("5", r.Figure5)
-	}
-	if selected("6") {
-		run("6", r.Figure6)
-	}
-	if selected("7") {
-		run("7", r.Figure7)
-	}
-	if selected("8") {
-		run("8", r.Figure8)
+	for _, fig := range figures {
+		if selected(fig.name) {
+			if err := run(fig.name, fig.f); err != nil {
+				return err
+			}
+		}
 	}
 	if selected("p3") {
 		start := time.Now()
 		rep, err := r.Phase3Frequency()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Println("Phase-three frequency study (Section 6.1)")
 		fmt.Printf("TP runs: %d   runs reaching phase three: %d\n", rep.Runs, rep.Phase3Runs)
@@ -165,6 +205,7 @@ func main() {
 		}
 		fmt.Printf("(completed in %s)\n", time.Since(start).Round(time.Millisecond))
 	}
+	return nil
 }
 
 func isKnown(name string) bool {

@@ -40,12 +40,16 @@ func TestParseOptionsOverrides(t *testing.T) {
 	opts, _, err := parseOptions([]string{
 		"-fig", "P3", "-rows", "1234", "-klrows", "99", "-projections", "0",
 		"-seed", "7", "-workers", "4",
+		"-cpuprofile", "cpu.pprof", "-memprofile", "mem.pprof",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if opts.fig != "p3" {
 		t.Errorf("fig = %q, want p3 (lowercased)", opts.fig)
+	}
+	if opts.cpuProfile != "cpu.pprof" || opts.memProfile != "mem.pprof" {
+		t.Errorf("profile paths not captured: %+v", opts)
 	}
 	cfg := opts.cfg
 	if cfg.Rows != 1234 || cfg.KLRows != 99 || cfg.MaxProjections != 0 || cfg.Seed != 7 || cfg.Workers != 4 {

@@ -36,17 +36,18 @@ import (
 
 // options is the parsed and validated command line of ldivd.
 type options struct {
-	addr       string
-	workers    int
-	queue      int
-	cache      int
-	retain     int
-	maxBody    int64
-	shutdown   time.Duration
-	storeDir   string
-	jobTimeout time.Duration
-	maxRetries int
-	tenantQPS  float64
+	addr        string
+	workers     int
+	algoWorkers int
+	queue       int
+	cache       int
+	retain      int
+	maxBody     int64
+	shutdown    time.Duration
+	storeDir    string
+	jobTimeout  time.Duration
+	maxRetries  int
+	tenantQPS   float64
 }
 
 // errFlagParse marks errors the ContinueOnError FlagSet has already printed
@@ -61,6 +62,7 @@ func parseOptions(args []string) (options, *flag.FlagSet, error) {
 	fs := flag.NewFlagSet("ldivd", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "concurrent anonymization jobs; 0 means one per CPU")
+	algoWorkers := fs.Int("algo-workers", 0, "worker bound for the TP core's parallel stages within one job (tp and tp+ only); 0 means one per CPU")
 	queue := fs.Int("queue", service.DefaultQueueDepth, "job backlog bound; a full backlog rejects submissions with 429; 0 accepts a job only when a worker is free")
 	cache := fs.Int("cache", service.DefaultCacheEntries, "LRU result-cache entries; negative disables caching")
 	retain := fs.Int("retain", service.DefaultJobRetention, "finished jobs kept queryable (must be positive); negative retains all forever")
@@ -97,18 +99,22 @@ func parseOptions(args []string) (options, *flag.FlagSet, error) {
 	if *tenantQPS < 0 {
 		return options{}, fs, fmt.Errorf("invalid -tenant-qps %v: must be non-negative", *tenantQPS)
 	}
+	if *algoWorkers < 0 {
+		return options{}, fs, fmt.Errorf("invalid -algo-workers %d: must be 0 (one per CPU) or positive", *algoWorkers)
+	}
 	return options{
-		addr:       *addr,
-		workers:    *workers,
-		queue:      *queue,
-		cache:      *cache,
-		retain:     *retain,
-		maxBody:    *maxBody,
-		shutdown:   *shutdown,
-		storeDir:   *storeDir,
-		jobTimeout: *jobTimeout,
-		maxRetries: *maxRetries,
-		tenantQPS:  *tenantQPS,
+		addr:        *addr,
+		workers:     *workers,
+		algoWorkers: *algoWorkers,
+		queue:       *queue,
+		cache:       *cache,
+		retain:      *retain,
+		maxBody:     *maxBody,
+		shutdown:    *shutdown,
+		storeDir:    *storeDir,
+		jobTimeout:  *jobTimeout,
+		maxRetries:  *maxRetries,
+		tenantQPS:   *tenantQPS,
 	}, fs, nil
 }
 
@@ -122,6 +128,7 @@ func serviceConfig(opts options) service.Config {
 	}
 	return service.Config{
 		Workers:      opts.workers,
+		AlgoWorkers:  opts.algoWorkers,
 		QueueDepth:   queueDepth,
 		CacheEntries: opts.cache,
 		JobRetention: opts.retain,

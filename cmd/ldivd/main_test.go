@@ -12,23 +12,24 @@ func TestParseOptionsDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if opts.addr != ":8080" || opts.workers != 0 || opts.queue != 64 ||
-		opts.cache != 128 || opts.retain != 1024 || opts.maxBody != 64<<20 ||
-		opts.shutdown != 30*time.Second {
+	if opts.addr != ":8080" || opts.workers != 0 || opts.algoWorkers != 0 ||
+		opts.queue != 64 || opts.cache != 128 || opts.retain != 1024 ||
+		opts.maxBody != 64<<20 || opts.shutdown != 30*time.Second {
 		t.Errorf("defaults wrong: %+v", opts)
 	}
 }
 
 func TestParseOptionsOverrides(t *testing.T) {
 	opts, _, err := parseOptions([]string{
-		"-addr", "127.0.0.1:9999", "-workers", "4", "-queue", "8",
-		"-cache", "-1", "-max-body", "1024", "-shutdown-timeout", "5s",
+		"-addr", "127.0.0.1:9999", "-workers", "4", "-algo-workers", "1",
+		"-queue", "8", "-cache", "-1", "-max-body", "1024", "-shutdown-timeout", "5s",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if opts.addr != "127.0.0.1:9999" || opts.workers != 4 || opts.queue != 8 ||
-		opts.cache != -1 || opts.maxBody != 1024 || opts.shutdown != 5*time.Second {
+	if opts.addr != "127.0.0.1:9999" || opts.workers != 4 || opts.algoWorkers != 1 ||
+		opts.queue != 8 || opts.cache != -1 || opts.maxBody != 1024 ||
+		opts.shutdown != 5*time.Second {
 		t.Errorf("overrides wrong: %+v", opts)
 	}
 }
@@ -46,6 +47,7 @@ func TestParseOptionsRejectsBadInputs(t *testing.T) {
 		{"negative retries", []string{"-max-retries", "-1"}, "invalid -max-retries"},
 		{"negative job timeout", []string{"-job-timeout", "-1s"}, "invalid -job-timeout"},
 		{"negative tenant qps", []string{"-tenant-qps", "-0.5"}, "invalid -tenant-qps"},
+		{"negative algo workers", []string{"-algo-workers", "-2"}, "invalid -algo-workers"},
 		{"unknown flag", []string{"-nope"}, "flag parse error"},
 	}
 	for _, tc := range tests {
@@ -79,7 +81,7 @@ func TestServiceConfigMapsZeroQueueToStrictHandoff(t *testing.T) {
 func TestDurabilityFlagsMapIntoConfig(t *testing.T) {
 	opts, _, err := parseOptions([]string{
 		"-store-dir", "/tmp/ldivd-store", "-job-timeout", "90s",
-		"-max-retries", "4", "-tenant-qps", "2.5",
+		"-max-retries", "4", "-tenant-qps", "2.5", "-algo-workers", "2",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -97,6 +99,9 @@ func TestDurabilityFlagsMapIntoConfig(t *testing.T) {
 	}
 	if cfg.TenantQPS != 2.5 {
 		t.Errorf("TenantQPS = %v", cfg.TenantQPS)
+	}
+	if cfg.AlgoWorkers != 2 {
+		t.Errorf("AlgoWorkers = %d, want 2", cfg.AlgoWorkers)
 	}
 }
 

@@ -24,6 +24,9 @@ type Refiner interface {
 type HybridAnonymizer struct {
 	L       int
 	Refiner Refiner
+	// Workers bounds the TP core's data-parallel stages, exactly as
+	// Anonymizer.Workers does; the refiner itself runs serially.
+	Workers int
 }
 
 // NewHybridAnonymizer returns a TP+ anonymizer for the given l and refiner.
@@ -36,7 +39,7 @@ func NewHybridAnonymizer(l int, r Refiner) *HybridAnonymizer {
 // group that is not l-eligible), the residue is kept as a single group and an
 // error is returned alongside the plain-TP result.
 func (h *HybridAnonymizer) Anonymize(t *table.Table) (*Result, error) {
-	base := NewAnonymizer(h.L)
+	base := &Anonymizer{L: h.L, Workers: h.Workers}
 	res, err := base.Anonymize(t)
 	if err != nil {
 		return nil, err
@@ -47,7 +50,7 @@ func (h *HybridAnonymizer) Anonymize(t *table.Table) (*Result, error) {
 // AnonymizeGroups is like Anonymize but starts from a caller-supplied
 // partition into QI-groups (see Anonymizer.AnonymizeGroups).
 func (h *HybridAnonymizer) AnonymizeGroups(t *table.Table, groups [][]int) (*Result, error) {
-	base := NewAnonymizer(h.L)
+	base := &Anonymizer{L: h.L, Workers: h.Workers}
 	res, err := base.AnonymizeGroups(t, groups)
 	if err != nil {
 		return nil, err

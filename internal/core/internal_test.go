@@ -213,7 +213,7 @@ func TestPhaseOneLemma4(t *testing.T) {
 			tbl.MustAppendRow([]int{0}, v)
 		}
 		groups := tbl.GroupByQI()
-		st := newState(tbl, groups, l)
+		st := newState(tbl, groups, l, 1)
 		st.phaseOne()
 		kept := st.groups[0]
 
@@ -277,7 +277,7 @@ func TestPhaseTwoPreservesHeight(t *testing.T) {
 		if n < l*maxC {
 			continue // not l-eligible
 		}
-		st := newState(tbl, tbl.GroupByQI(), l)
+		st := newState(tbl, tbl.GroupByQI(), l, 1)
 		st.phaseOne()
 		if st.residueEligible() {
 			continue

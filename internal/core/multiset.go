@@ -5,6 +5,12 @@
 // (Section 5.6 / 6.1).
 package core
 
+import (
+	"slices"
+
+	"ldiv/internal/parallel"
+)
+
 // saMultiset tracks a multiset of rows keyed by their sensitive value, with
 // the height bookkeeping of Section 5.5: counts per SA value, count buckets
 // per height, and a pillar pointer (the maximum height). Removing a row and
@@ -203,59 +209,155 @@ func (m *saMultiset) allRows() []int {
 	return out
 }
 
-// buildGroupMultisets bulk-builds one multiset per QI-group with all backing
-// storage carved out of three shared arenas: one allocation for every group's
-// dense count array, one for every row stack, and one for the multiset
-// structs themselves. Row stacks keep table order within a value, exactly as
-// a sequence of add calls would. sa maps a row index to its SA code (the
-// table's dense SAView, so the per-row lookup is one array load).
-func buildGroupMultisets(groups [][]int, domain int, sa []int) []*saMultiset {
-	total := 0
-	for _, g := range groups {
-		total += len(g)
+// multisetChunkMin is the smallest number of groups worth handing to one
+// worker in buildGroupMultisets: below it, goroutine handoff and the per-chunk
+// domain-sized scratch cost more than the build itself.
+const multisetChunkMin = 256
+
+// chunkBounds splits 0..n-1 into at most WorkerCount(workers) contiguous
+// chunks of at least minChunk items (except possibly when n < minChunk),
+// returning k+1 ascending boundaries. Chunks are a deterministic function of
+// (n, workers, minChunk) only, so any per-chunk state (scratch reuse, shard
+// output order) is reproducible for a fixed worker count — and every
+// chunk-parallel consumer in this package merges chunks in index order, which
+// makes the merged output independent of the worker count too.
+func chunkBounds(n, workers, minChunk int) []int {
+	k := parallel.WorkerCount(workers)
+	if maxK := (n + minChunk - 1) / minChunk; k > maxK {
+		k = maxK
 	}
-	out := make([]*saMultiset, len(groups))
-	structs := make([]saMultiset, len(groups))
-	cntArena := make([]int32, len(groups)*domain)
-	rowArena := make([]int32, 0, total)
-	for gi, g := range groups {
-		m := &structs[gi]
-		m.cnt = cntArena[gi*domain : (gi+1)*domain : (gi+1)*domain]
-		for _, r := range g {
-			m.cnt[sa[r]]++
-		}
-		distinct, maxC := 0, 0
-		for v := 0; v < domain; v++ {
-			if c := int(m.cnt[v]); c > 0 {
-				distinct++
-				if c > maxC {
-					maxC = c
+	if k < 1 {
+		k = 1
+	}
+	bounds := make([]int, k+1)
+	for i := 0; i <= k; i++ {
+		bounds[i] = i * n / k
+	}
+	return bounds
+}
+
+// buildGroupMultisets bulk-builds one multiset per QI-group with all backing
+// storage carved out of shared arenas: one allocation apiece for the dense
+// count arrays, the sorted value lists, the row-stack headers, the row
+// stacks, the height buckets, and the multiset structs themselves. Row stacks
+// keep group order within a value, exactly as a sequence of add calls would.
+// sa maps a row index to its SA code (the table's dense SAView, so the
+// per-row lookup is one array load).
+//
+// The build is two passes over contiguous group chunks, fanned across at most
+// `workers` goroutines (parallel.Run; workers <= 1 or a single chunk runs
+// inline). Pass one counts each group's histogram and measures its distinct
+// values and pillar height; a serial prefix-sum then fixes every group's
+// arena windows, so pass two can fill values, row stacks, and height buckets
+// with no cross-chunk coordination. Each group's output depends only on its
+// own rows, so the result is identical at every worker count.
+func buildGroupMultisets(groups [][]int, domain int, sa []int, workers int) []*saMultiset {
+	n := len(groups)
+	out := make([]*saMultiset, n)
+	if n == 0 {
+		return out
+	}
+	structs := make([]saMultiset, n)
+	cntArena := make([]int32, n*domain)
+	distinct := make([]int32, n)
+	maxC := make([]int32, n)
+	bounds := chunkBounds(n, workers, multisetChunkMin)
+	chunks := len(bounds) - 1
+
+	// Pass 1: count histograms, measure distinct values and pillar heights.
+	err := parallel.Run(workers, chunks, func(ci int) error {
+		for gi := bounds[ci]; gi < bounds[ci+1]; gi++ {
+			m := &structs[gi]
+			m.cnt = cntArena[gi*domain : (gi+1)*domain : (gi+1)*domain]
+			d, mx := int32(0), int32(0)
+			for _, r := range groups[gi] {
+				v := sa[r]
+				if m.cnt[v] == 0 {
+					d++
+				}
+				m.cnt[v]++
+				if m.cnt[v] > mx {
+					mx = m.cnt[v]
 				}
 			}
+			distinct[gi], maxC[gi] = d, mx
 		}
-		m.vals = make([]int32, 0, distinct)
-		m.rows = make([][]int32, 0, distinct)
-		m.heightCnt = make([]int32, maxC+1)
-		for v := 0; v < domain; v++ {
-			c := int(m.cnt[v])
-			if c == 0 {
-				continue
+		return nil
+	})
+	if err != nil {
+		panic(err) // only task panics reach here; re-raise them
+	}
+
+	// Serial prefix sums fix each group's windows in the shared arenas.
+	totalDistinct, totalHeights, totalRows := 0, 0, 0
+	valsBase := make([]int, n)
+	heightBase := make([]int, n)
+	rowBase := make([]int, n)
+	for gi := range groups {
+		valsBase[gi] = totalDistinct
+		heightBase[gi] = totalHeights
+		rowBase[gi] = totalRows
+		totalDistinct += int(distinct[gi])
+		totalHeights += int(maxC[gi]) + 1
+		totalRows += len(groups[gi])
+	}
+	valsArena := make([]int32, totalDistinct)
+	hdrArena := make([][]int32, totalDistinct)
+	heightArena := make([]int32, totalHeights)
+	rowArena := make([]int32, totalRows)
+
+	// Pass 2: collect sorted values, carve per-value row windows, fill row
+	// stacks in group order, and bucket heights. pos[v] is a per-chunk scratch
+	// mapping a value to its index in the group's vals (or -1), replacing the
+	// per-row binary search of the incremental build; it is reset by walking
+	// the group's own vals, so its cost tracks distinct values, not domain.
+	err = parallel.Run(workers, chunks, func(ci int) error {
+		pos := make([]int32, domain)
+		for i := range pos {
+			pos[i] = -1
+		}
+		for gi := bounds[ci]; gi < bounds[ci+1]; gi++ {
+			m := &structs[gi]
+			g := groups[gi]
+			vb, d := valsBase[gi], int(distinct[gi])
+			vals := valsArena[vb : vb : vb+d]
+			for _, r := range g {
+				v := sa[r]
+				if pos[v] < 0 {
+					pos[v] = 0
+					vals = append(vals, int32(v))
+				}
 			}
-			m.vals = append(m.vals, int32(v))
-			base := len(rowArena)
-			rowArena = rowArena[:base+c]
-			// A zero-length, capacity-c window: the fill loop below appends
-			// into the arena without ever reallocating.
-			m.rows = append(m.rows, rowArena[base:base:base+c])
-			m.heightCnt[c]++
+			slices.Sort(vals)
+			m.vals = vals
+			hn := int(maxC[gi]) + 1
+			m.heightCnt = heightArena[heightBase[gi] : heightBase[gi]+hn : heightBase[gi]+hn]
+			m.rows = hdrArena[vb : vb+d : vb+d]
+			base := rowBase[gi]
+			for i, v := range vals {
+				c := int(m.cnt[v])
+				// A zero-length, capacity-c window: the fill loop below
+				// appends into the arena without ever reallocating.
+				m.rows[i] = rowArena[base : base : base+c]
+				m.heightCnt[c]++
+				pos[v] = int32(i)
+				base += c
+			}
+			for _, r := range g {
+				i := pos[sa[r]]
+				m.rows[i] = append(m.rows[i], int32(r))
+			}
+			for _, v := range vals {
+				pos[v] = -1
+			}
+			m.size = len(g)
+			m.maxH = int(maxC[gi])
+			out[gi] = m
 		}
-		for _, r := range g {
-			i, _ := m.valIndex(int32(sa[r]))
-			m.rows[i] = append(m.rows[i], int32(r))
-		}
-		m.size = len(g)
-		m.maxH = maxC
-		out[gi] = m
+		return nil
+	})
+	if err != nil {
+		panic(err)
 	}
 	return out
 }

@@ -3,9 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"ldiv/internal/eligibility"
+	"ldiv/internal/parallel"
 	"ldiv/internal/table"
 )
 
@@ -23,6 +23,12 @@ type Anonymizer struct {
 	// the ablation study of the design choices (phase two is what keeps h(R)
 	// from growing); production callers should leave it false.
 	SkipPhaseTwo bool
+	// Workers bounds the worker pool the data-parallel stages fan out on (the
+	// bulk multiset build and phase three's inverted-index rebuild). Values
+	// below 1 mean one worker per CPU; 1 runs fully serial. Every stage
+	// produces index-ordered output, so results are identical — byte for
+	// byte — at every worker count.
+	Workers int
 }
 
 // NewAnonymizer returns a TP anonymizer for the given l.
@@ -53,7 +59,7 @@ func (a *Anonymizer) AnonymizeGroups(t *table.Table, groups [][]int) (*Result, e
 	if !eligibility.IsEligibleCounts(t.SACounts(), l) {
 		return nil, ErrNotEligible
 	}
-	st := newState(t, groups, l)
+	st := newState(t, groups, l, a.Workers)
 
 	// Phase 1: per group, shed pillar tuples until the group is l-eligible.
 	st.phaseOne()
@@ -75,9 +81,13 @@ func (a *Anonymizer) AnonymizeGroups(t *table.Table, groups [][]int) (*Result, e
 
 // state carries the mutable data structures of Section 5.5.
 type state struct {
-	t      *table.Table
-	l      int
-	domain int // SA code domain size; every multiset is dense over it
+	t       *table.Table
+	l       int
+	domain  int // SA code domain size; every multiset is dense over it
+	workers int // bound for the data-parallel stages (Anonymizer.Workers)
+
+	orig [][]int // the initial QI-groups, in their original row order
+	sa   []int   // dense row -> SA code view of t
 
 	groups  []*saMultiset // surviving content of each QI-group
 	residue *saMultiset   // the set R of removed tuples
@@ -93,24 +103,26 @@ type state struct {
 	// pillar. It is rebuilt once per round — group contents are immutable
 	// during the greedy selection loop — so each greedy pick costs the size
 	// of the posting lists it touches instead of a scan over every group.
-	pillarGroups [][]int32 // value -> groups with that (R-conflicting) pillar
-	filledVals   []int32   // values with non-empty pillarGroups entries
-	alive        []int32   // non-empty group indices, ascending
-	overlap      []int32   // per-group |pillars(Q) ∩ remaining|, stamp-valid
-	overlapStamp []int32   // stamp for which overlap[gi] is current
-	pickedRound  []int32   // round in which the group was picked, if any
-	touched      []int32   // groups with overlap > 0 in the current pick
-	selection    []int     // groups picked by the current round's step 1
-	remaining    []int     // pillars of R not yet covered by the selection
+	pillarGroups [][]int32     // value -> groups with that (R-conflicting) pillar
+	filledVals   []int32       // values with non-empty pillarGroups entries
+	alive        []int32       // non-empty group indices, ascending
+	shards       []pillarShard // parallel rebuild shards; empty means serial
+	overlap      []int32       // per-group |pillars(Q) ∩ remaining|, stamp-valid
+	overlapStamp []int32       // stamp for which overlap[gi] is current
+	pickedRound  []int32       // round in which the group was picked, if any
+	touched      []int32       // groups with overlap > 0 in the current pick
+	selection    []int         // groups picked by the current round's step 1
+	remaining    []int         // pillars of R not yet covered by the selection
 	stamp        int32
 
 	pillarBuf []int // reusable snapshot buffer for pillar-shedding loops
 }
 
-func newState(t *table.Table, groups [][]int, l int) *state {
+func newState(t *table.Table, groups [][]int, l int, workers int) *state {
 	domain := t.SADomainSize()
-	st := &state{t: t, l: l, domain: domain, residue: newSAMultiset(domain), phase: 1}
-	st.groups = buildGroupMultisets(groups, domain, t.SAView())
+	sa := t.SAView()
+	st := &state{t: t, l: l, domain: domain, workers: workers, orig: groups, sa: sa, residue: newSAMultiset(domain), phase: 1}
+	st.groups = buildGroupMultisets(groups, domain, sa, workers)
 	return st
 }
 
@@ -177,14 +189,19 @@ type candEntry struct {
 // phaseTwo returns true if the residue became l-eligible during the phase.
 func (st *state) phaseTwo() bool {
 	st.phase = 2
-	n := st.t.Len()
 
 	// Candidate buckets indexed by h(R, v); entries are validated lazily when
 	// popped (dead groups stay dead during phase two and h(Q, v) never grows,
 	// so entries only need to be discarded or pushed to a higher bucket).
-	buckets := make([][]candEntry, n+2)
+	// Buckets grow on demand: h(R, v) is bounded by the tuples phase two ever
+	// moves, which is far below the table size the old n+2 preallocation
+	// zeroed on every run.
+	var buckets [][]candEntry
 	push := func(e candEntry) {
 		j := st.residue.count(e.v)
+		for len(buckets) <= j {
+			buckets = append(buckets, nil)
+		}
 		buckets[j] = append(buckets[j], e)
 	}
 	for gi, q := range st.groups {
@@ -198,7 +215,9 @@ func (st *state) phaseTwo() bool {
 		}
 	}
 
-	for j := 0; j <= n; j++ {
+	// len(buckets) can grow while the loop runs: re-filed entries land in
+	// higher buckets, exactly as they landed in the fixed-size array before.
+	for j := 0; j < len(buckets); j++ {
 		for len(buckets[j]) > 0 {
 			e := buckets[j][len(buckets[j])-1]
 			buckets[j] = buckets[j][:len(buckets[j])-1]
@@ -207,9 +226,9 @@ func (st *state) phaseTwo() bool {
 			if q.count(e.v) == 0 || st.dead(e.gi) {
 				continue // permanently invalid
 			}
-			if cur := st.residue.count(e.v); cur != j {
+			if st.residue.count(e.v) != j {
 				// h(R, v) has grown since the entry was filed; re-file it.
-				buckets[cur] = append(buckets[cur], e)
+				push(e)
 				continue
 			}
 
@@ -253,37 +272,107 @@ func (st *state) phaseThree() {
 	}
 }
 
+// pillarShardMin is the smallest contiguous span of groups worth handing to
+// one shard of the phase-three index rebuild; below it the per-round goroutine
+// handoff and merge copying dominate the scan itself.
+const pillarShardMin = 1024
+
+// pillarShard is one contiguous slice [lo, hi) of the group array in the
+// parallel phase-three index rebuild. Each shard fills its own posting lists
+// and alive set; the merge concatenates shards in index order, so the merged
+// lists are ascending in group index exactly as the serial scan produces.
+type pillarShard struct {
+	lo, hi int
+	lists  [][]int32 // value -> groups in [lo,hi) with that (R-conflicting) pillar
+	filled []int32   // values with non-empty lists entries
+	alive  []int32   // non-empty group indices in [lo,hi), ascending
+}
+
 // initPhaseThree allocates the phase-three working set: the inverted group
-// index and the stamped per-group scratch arrays of the greedy cover.
+// index, the stamped per-group scratch arrays of the greedy cover, and — when
+// the worker bound and the group count warrant it — the rebuild shards.
 func (st *state) initPhaseThree() {
 	st.pillarGroups = make([][]int32, st.domain)
 	st.overlap = make([]int32, len(st.groups))
 	st.overlapStamp = make([]int32, len(st.groups))
 	st.pickedRound = make([]int32, len(st.groups))
+	bounds := chunkBounds(len(st.groups), st.workers, pillarShardMin)
+	if len(bounds) > 2 {
+		st.shards = make([]pillarShard, len(bounds)-1)
+		for si := range st.shards {
+			st.shards[si] = pillarShard{lo: bounds[si], hi: bounds[si+1], lists: make([][]int32, st.domain)}
+		}
+	}
 }
 
 // buildPillarIndex rebuilds the inverted group index for the current round:
 // pillarGroups[v] lists, in ascending order, the non-empty groups whose
 // pillar set contains v, restricted to values v that are pillars of R (only
 // those can appear in the uncovered set). alive is refreshed alongside.
+//
+// With shards configured, each shard scans its contiguous span of groups
+// concurrently (group contents and R are immutable during the rebuild) and
+// the results are merged in shard order, which keeps every posting list
+// ascending in group index — the property the greedy tie-break depends on —
+// independent of the worker count.
 func (st *state) buildPillarIndex() {
 	for _, v := range st.filledVals {
 		st.pillarGroups[v] = st.pillarGroups[v][:0]
 	}
 	st.filledVals = st.filledVals[:0]
 	st.alive = st.alive[:0]
-	for gi, q := range st.groups {
-		if q.size == 0 {
-			continue
-		}
-		st.alive = append(st.alive, int32(gi))
-		for _, v := range q.vals {
-			if int(q.cnt[v]) == q.maxH && st.residue.isPillar(int(v)) {
-				if len(st.pillarGroups[v]) == 0 {
-					st.filledVals = append(st.filledVals, v)
-				}
-				st.pillarGroups[v] = append(st.pillarGroups[v], int32(gi))
+	if len(st.shards) == 0 {
+		for gi, q := range st.groups {
+			if q.size == 0 {
+				continue
 			}
+			st.alive = append(st.alive, int32(gi))
+			for _, v := range q.vals {
+				if int(q.cnt[v]) == q.maxH && st.residue.isPillar(int(v)) {
+					if len(st.pillarGroups[v]) == 0 {
+						st.filledVals = append(st.filledVals, v)
+					}
+					st.pillarGroups[v] = append(st.pillarGroups[v], int32(gi))
+				}
+			}
+		}
+		return
+	}
+	err := parallel.Run(st.workers, len(st.shards), func(si int) error {
+		sh := &st.shards[si]
+		for _, v := range sh.filled {
+			sh.lists[v] = sh.lists[v][:0]
+		}
+		sh.filled = sh.filled[:0]
+		sh.alive = sh.alive[:0]
+		for gi := sh.lo; gi < sh.hi; gi++ {
+			q := st.groups[gi]
+			if q.size == 0 {
+				continue
+			}
+			sh.alive = append(sh.alive, int32(gi))
+			for _, v := range q.vals {
+				if int(q.cnt[v]) == q.maxH && st.residue.isPillar(int(v)) {
+					if len(sh.lists[v]) == 0 {
+						sh.filled = append(sh.filled, v)
+					}
+					sh.lists[v] = append(sh.lists[v], int32(gi))
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err) // only task panics reach here; re-raise them
+	}
+	for si := range st.shards {
+		sh := &st.shards[si]
+		st.alive = append(st.alive, sh.alive...)
+		for _, v := range sh.filled {
+			if len(st.pillarGroups[v]) == 0 {
+				st.filledVals = append(st.filledVals, v)
+			}
+			st.pillarGroups[v] = append(st.pillarGroups[v], sh.lists[v]...)
 		}
 	}
 }
@@ -432,14 +521,45 @@ func (st *state) nonPillarValue(gi int) (int, bool) {
 
 // --- Result assembly --------------------------------------------------------
 
+// result assembles the Result from the surviving group contents. Surviving
+// rows are recovered from the original groups rather than the multisets'
+// LIFO stacks: removeOne pops a value's most recently filed rows, so the
+// survivors carrying value v are exactly the first h(Q, v) rows of that value
+// in the group's original order. Walking the original group with a per-value
+// budget therefore emits the survivors in original order directly — no
+// per-group sort — and normalize's sorts then run on already-ordered input
+// for every caller that grouped with GroupByQI.
 func (st *state) result(phase int) *Result {
 	res := &Result{L: st.l, TerminationPhase: phase, Phase3Rounds: st.phase3Rounds, RemovedByPhase: st.removedByPhase}
+	kept, keptRows := 0, 0
 	for _, q := range st.groups {
-		if q.len() == 0 {
+		if q.size > 0 {
+			kept++
+			keptRows += q.size
+		}
+	}
+	if kept > 0 {
+		res.KeptGroups = make([][]int, 0, kept)
+	}
+	rowArena := make([]int, 0, keptRows)
+	seen := make([]int32, st.domain)
+	for gi, q := range st.groups {
+		if q.size == 0 {
 			continue
 		}
-		rows := q.allRows()
-		sort.Ints(rows)
+		base := len(rowArena)
+		rows := rowArena[base : base : base+q.size]
+		for _, r := range st.orig[gi] {
+			v := st.sa[r]
+			if seen[v] < q.cnt[v] {
+				seen[v]++
+				rows = append(rows, r)
+			}
+		}
+		rowArena = rowArena[:base+q.size]
+		for _, v := range q.vals {
+			seen[v] = 0
+		}
 		res.KeptGroups = append(res.KeptGroups, rows)
 	}
 	res.Residue = st.residue.allRows()

@@ -31,6 +31,12 @@ var deterministicPkgs = map[string]bool{
 	// or clock nondeterminism there churns the benchmark trajectory. Its
 	// deliberate wall-clock reads carry reasoned lint:ignore directives.
 	"loadgen": true,
+	// The grouping primitive (radix sort over packed rank keys) and the
+	// worker pool under the TP core's parallel stages feed every release;
+	// a map iteration or clock read in either would leak nondeterminism
+	// into otherwise byte-identical output.
+	"table":    true,
+	"parallel": true,
 }
 
 // Detrange flags the canonical ways to break byte-identical output inside

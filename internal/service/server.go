@@ -46,6 +46,13 @@ type Config struct {
 	// Workers bounds the number of concurrently executing jobs; values below
 	// 1 mean one worker per CPU (parallel.WorkerCount).
 	Workers int
+	// AlgoWorkers bounds the TP core's data-parallel stages within a single
+	// job (the bulk multiset build and phase three's inverted-index rebuild;
+	// only the tp and tp+ algorithms consume it). Values below 1 mean one
+	// worker per CPU; the published release is byte-identical at every
+	// setting. Deployments that raise Workers to run many jobs concurrently
+	// typically set AlgoWorkers to 1 so jobs do not oversubscribe the CPUs.
+	AlgoWorkers int
 	// QueueDepth bounds the backlog of accepted-but-not-running jobs; a full
 	// backlog rejects submissions with HTTP 429. Default 64.
 	QueueDepth int
@@ -202,7 +209,9 @@ func Open(cfg Config) (*Server, error) {
 		baseCtx:    baseCtx,
 		baseCancel: baseCancel,
 		jobs:       make(map[string]*Job),
-		run:        runPrepared,
+		run: func(t *ldiv.Table, p Params) (*Result, error) {
+			return runPreparedWorkers(t, p, cfg.AlgoWorkers)
+		},
 	}
 	if cfg.StoreDir != "" {
 		fsys := cfg.FS
@@ -364,9 +373,17 @@ func prepare(body []byte, p Params) (*ldiv.Table, *apiError) {
 	return t, nil
 }
 
-// runPrepared executes the requested algorithm on an already-validated table.
-// It is the production value of Server.run.
+// runPrepared executes the requested algorithm on an already-validated table
+// with the default worker bound. Tests use it as the pass-through body of a
+// replaced Server.run.
 func runPrepared(t *ldiv.Table, p Params) (*Result, error) {
+	return runPreparedWorkers(t, p, 0)
+}
+
+// runPreparedWorkers is runPrepared with an explicit bound on the TP core's
+// data-parallel stages (Config.AlgoWorkers); it is the production body of
+// Server.run.
+func runPreparedWorkers(t *ldiv.Table, p Params, workers int) (*Result, error) {
 	//lint:ignore detrange job latency is an operational metric, not release content
 	start := time.Now()
 	if p.Algorithm == "anatomy" {
@@ -383,7 +400,7 @@ func runPrepared(t *ldiv.Table, p Params) (*Result, error) {
 		}
 		return res, nil
 	}
-	gen, phase, err := ldiv.AnonymizeWith(t, p.L, p.Algorithm)
+	gen, phase, err := ldiv.AnonymizeWithWorkers(t, p.L, p.Algorithm, workers)
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,7 @@ package table
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Attribute is a categorical attribute: a name plus a dictionary that maps
@@ -18,6 +19,13 @@ type Attribute struct {
 	name   string
 	labels []string
 	codes  map[string]int
+
+	// rankTab caches the decimal-rank table GroupByQI needs. It depends only
+	// on Cardinality, so it survives across every grouping of tables sharing
+	// this attribute and is invalidated by length mismatch when Encode grows
+	// the domain. Atomic because projections share attributes and grouping
+	// may run concurrently; the cached slice is never mutated after Store.
+	rankTab atomic.Pointer[[]int]
 }
 
 // NewAttribute creates an attribute with the given name and an empty domain.
@@ -99,10 +107,28 @@ func (a *Attribute) SortedLabels() []string {
 	return out
 }
 
+// decimalRankTable returns rank[code] = position of code within the current
+// domain ordered by decimal representation, computing it at most once per
+// domain size: the table depends only on Cardinality, so repeated grouping of
+// same-schema tables reuses one cached slice instead of re-deriving it. The
+// returned slice is shared and must be treated as read-only. Encode growing
+// the domain invalidates the cache by length mismatch; concurrent callers may
+// race to compute the same table, which is harmless (identical contents, last
+// Store wins).
+func (a *Attribute) decimalRankTable() []int {
+	if p := a.rankTab.Load(); p != nil && len(*p) == len(a.labels) {
+		return *p
+	}
+	r := decimalRanks(len(a.labels))
+	a.rankTab.Store(&r)
+	return r
+}
+
 // Clone returns a deep copy of the attribute.
 func (a *Attribute) Clone() *Attribute {
 	c := &Attribute{name: a.name, labels: make([]string, len(a.labels)), codes: make(map[string]int, len(a.codes))}
 	copy(c.labels, a.labels)
+	//lint:ignore detrange copying a map into a map is order-independent
 	for k, v := range a.codes {
 		c.codes[k] = v
 	}

@@ -414,14 +414,16 @@ func (t *Table) QIKey(i int) string {
 // row in lexicographic order), and rows within a group preserve table order.
 //
 // Grouping is sort-based and allocation-lean instead of string-keyed: each
-// attribute's codes are dictionary-encoded to their decimal-string rank, the
-// per-row ranks are packed into one integer sort key built column by column
-// (one linear pass per attribute over its contiguous column), and every group
-// is a sub-slice of the single sorted index array. When the ranks and the row
-// index together fit one word, the row index is packed into the key's low
-// bits and the whole array is sorted with the comparison-free slices.Sort.
-// No key strings are ever materialized, and groups have capped capacity, so
-// appending to one cannot bleed into its neighbor.
+// attribute's codes are dictionary-encoded to their decimal-string rank
+// (tables cached per attribute — see decimalRankTable), the per-row ranks are
+// packed into one integer sort key built column by column (one linear pass
+// per attribute over its contiguous column), and every group is a sub-slice
+// of the single sorted index array. When the ranks and the row index together
+// fit one word, the row index is packed into the key's low bits and the whole
+// array is sorted comparison-free — an LSD radix sort over the used key bits
+// at n >= radixMinN, slices.Sort below it. No key strings are ever
+// materialized, and groups have capped capacity, so appending to one cannot
+// bleed into its neighbor.
 func (t *Table) GroupByQI() [][]int {
 	n := t.Len()
 	if n == 0 {
@@ -436,9 +438,9 @@ func (t *Table) GroupByQI() [][]int {
 	shift := make([]uint, d)
 	totalBits := uint(0)
 	for j := 0; j < d; j++ {
-		c := t.schema.QI(j).Cardinality()
-		ranks[j] = decimalRanks(c)
-		shift[j] = uint(bitsFor(c))
+		a := t.schema.QI(j)
+		ranks[j] = a.decimalRankTable()
+		shift[j] = uint(bitsFor(a.Cardinality()))
 		totalBits += shift[j]
 	}
 	rowBits := uint(bitsFor(n))
@@ -452,7 +454,11 @@ func (t *Table) GroupByQI() [][]int {
 		for i := range keys {
 			keys[i] = keys[i]<<rowBits | uint64(i)
 		}
-		slices.Sort(keys)
+		if n >= radixMinN {
+			radixSortUint64(keys, totalBits+rowBits)
+		} else {
+			slices.Sort(keys)
+		}
 		rowMask := uint64(1)<<rowBits - 1
 		rows := make([]int, n)
 		for i, k := range keys {
@@ -478,16 +484,21 @@ func (t *Table) GroupByQI() [][]int {
 		// explicit table-order tie-break.
 		keys := make([]uint64, n)
 		t.buildRankKeys(keys, ranks, shift)
-		slices.SortFunc(rows, func(a, b int) int {
-			switch {
-			case keys[a] < keys[b]:
-				return -1
-			case keys[a] > keys[b]:
-				return 1
-			default:
-				return a - b // table order within a group
-			}
-		})
+		if n >= radixMinN {
+			// Stable radix on ascending row seeds: equal keys keep table order.
+			radixSortRowsByKey(rows, keys, totalBits)
+		} else {
+			slices.SortFunc(rows, func(a, b int) int {
+				switch {
+				case keys[a] < keys[b]:
+					return -1
+				case keys[a] > keys[b]:
+					return 1
+				default:
+					return a - b // table order within a group
+				}
+			})
+		}
 		out := make([][]int, 0, 16)
 		start := 0
 		for i := 1; i <= n; i++ {

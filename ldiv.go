@@ -109,10 +109,24 @@ func TP(t *Table, l int) (*Result, error) {
 	return core.NewAnonymizer(l).Anonymize(t)
 }
 
+// TPWorkers is TP with an explicit bound on the core's data-parallel stages
+// (the bulk multiset build and phase three's inverted-index rebuild). Values
+// below 1 mean one worker per CPU; 1 runs fully serial. The Result is
+// identical at every worker count.
+func TPWorkers(t *Table, l, workers int) (*Result, error) {
+	return (&core.Anonymizer{L: l, Workers: workers}).Anonymize(t)
+}
+
 // TPPlus runs TP and then refines the residue set with the Hilbert heuristic,
 // which can only reduce the number of stars (Section 5.6 / 6.1).
 func TPPlus(t *Table, l int) (*Result, error) {
 	return core.NewHybridAnonymizer(l, hilbert.NewSuppressor(l)).Anonymize(t)
+}
+
+// TPPlusWorkers is TPPlus with an explicit worker bound, as TPWorkers.
+func TPPlusWorkers(t *Table, l, workers int) (*Result, error) {
+	h := &core.HybridAnonymizer{L: l, Refiner: hilbert.NewSuppressor(l), Workers: workers}
+	return h.Anonymize(t)
 }
 
 // TPWithGroups runs TP starting from a caller-supplied partition into groups
@@ -183,16 +197,24 @@ func CanonicalAlgorithm(name string) (string, bool) {
 // here because its two-table release has no Generalized form — call
 // Anatomize instead.
 func AnonymizeWith(t *Table, l int, algo string) (*Generalized, int, error) {
+	return AnonymizeWithWorkers(t, l, algo, 0)
+}
+
+// AnonymizeWithWorkers is AnonymizeWith with an explicit bound on the TP
+// core's data-parallel stages. Only "tp" and "tp+" consume the bound (the
+// other algorithms are serial); values below 1 mean one worker per CPU, and
+// the published release is byte-identical at every worker count.
+func AnonymizeWithWorkers(t *Table, l int, algo string, workers int) (*Generalized, int, error) {
 	switch algo {
 	case "tp":
-		res, err := TP(t, l)
+		res, err := TPWorkers(t, l, workers)
 		if err != nil {
 			return nil, 0, err
 		}
 		g, err := res.Generalize(t)
 		return g, res.TerminationPhase, err
 	case "tp+":
-		res, err := TPPlus(t, l)
+		res, err := TPPlusWorkers(t, l, workers)
 		if err != nil {
 			return nil, 0, err
 		}

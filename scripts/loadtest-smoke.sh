@@ -1,7 +1,8 @@
 #!/bin/sh
-# loadtest-smoke.sh is the CI load-test gate. It runs the smoke scenario of
-# cmd/ldivload against an in-process ldivd for LOADTEST_DURATION (default
-# 10s), writing bench/BENCH_smoke.json, and then proves three things:
+# loadtest-smoke.sh is the CI load-test gate. It runs one named scenario of
+# cmd/ldivload (LOADTEST_SCENARIO, default smoke) against an in-process ldivd
+# for LOADTEST_DURATION (default 10s), writing bench/BENCH_<scenario>.json,
+# and then proves three things:
 #
 #   1. the run itself was clean — ldivload exits nonzero on lost jobs, audit
 #      violations, or oracle mismatches, so thousands of concurrent round
@@ -13,20 +14,24 @@
 #      -degrade must make bench-compare fail. A gate that passes everything
 #      is worse than no gate.
 #
-# Requires: go. Produces: bench/BENCH_smoke.json (uploaded as a CI artifact).
+# `make loadtest-smoke` runs the smoke scenario; `make loadtest-sustained`
+# runs the sustained one against its own baseline.
+#
+# Requires: go. Produces: bench/BENCH_<scenario>.json (a CI artifact).
 set -eu
 
+SCENARIO="${LOADTEST_SCENARIO:-smoke}"
 DURATION="${LOADTEST_DURATION:-10s}"
 MAX_REGRESS="${BENCH_MAX_REGRESS:-300}"
 OUT="${LOADTEST_OUT:-bench}"
-BASELINE="bench/baselines/BENCH_smoke.json"
+BASELINE="bench/baselines/BENCH_$SCENARIO.json"
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT INT TERM
 
-echo "loadtest-smoke: running the smoke scenario for $DURATION"
-go run ./cmd/ldivload -scenario smoke -duration "$DURATION" -out "$OUT"
-BENCH="$OUT/BENCH_smoke.json"
+echo "loadtest-smoke: running the $SCENARIO scenario for $DURATION"
+go run ./cmd/ldivload -scenario "$SCENARIO" -duration "$DURATION" -out "$OUT"
+BENCH="$OUT/BENCH_$SCENARIO.json"
 
 echo "loadtest-smoke: self-comparison (sanity: a run never regresses against itself)"
 ./scripts/bench-compare.sh "$BENCH" "$BENCH"

@@ -1,0 +1,37 @@
+#!/bin/sh
+# profile.sh captures the profiling evidence behind EXPERIMENTS.md's hot-path
+# numbers: a pprof CPU profile and an allocation profile of the SAL-4 timing
+# workload (ldivbench -fig 4, "Computation time vs. l"), then validates both
+# with `go tool pprof -top` so a broken profile cannot be mistaken for a slow
+# one. Knobs (environment):
+#
+#   PROFILE_FIG   figure to profile (default 4, the SAL-4/OCC-4 timing run)
+#   PROFILE_ROWS  base-table cardinality (default 0 = ldivbench's 60000);
+#                 CI runs this in smoke mode with a tiny value so the pprof
+#                 plumbing cannot rot
+#   PROFILE_OUT   output directory (default bench/profiles, gitignored)
+#
+# Requires: go. Produces: $PROFILE_OUT/cpu.pprof and $PROFILE_OUT/mem.pprof.
+# Inspect interactively with `go tool pprof -http=:8081 bench/profiles/cpu.pprof`.
+set -eu
+
+FIG="${PROFILE_FIG:-4}"
+ROWS="${PROFILE_ROWS:-0}"
+OUT="${PROFILE_OUT:-bench/profiles}"
+
+mkdir -p "$OUT"
+CPU="$OUT/cpu.pprof"
+MEM="$OUT/mem.pprof"
+
+echo "profile: running ldivbench -fig $FIG -rows $ROWS (0 rows means the default scale)"
+go run ./cmd/ldivbench -fig "$FIG" -rows "$ROWS" -cpuprofile "$CPU" -memprofile "$MEM" >/dev/null
+
+echo "profile: top CPU consumers ($CPU)"
+go tool pprof -top -nodecount 15 "$CPU"
+
+echo
+echo "profile: top allocators by space ($MEM)"
+go tool pprof -top -nodecount 10 -sample_index=alloc_space "$MEM"
+
+echo
+echo "profile: wrote $CPU and $MEM"
