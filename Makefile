@@ -8,7 +8,7 @@ CORE_BENCH := BenchmarkAnonymize|BenchmarkPhase3Heavy|BenchmarkTPCore|BenchmarkT
 # with, and the end-to-end anonymization that sits on top of them.
 TABLE_BENCH := BenchmarkTableOps|BenchmarkGroupByQI|BenchmarkAnonymize$$
 
-.PHONY: all build test race bench bench-table bench-table-smoke bench-smoke loadtest-smoke loadtest-sustained profile bench-compare fmt vet lint run-server smoke-server docs-lint fuzz-smoke cover
+.PHONY: all build test race bench bench-table bench-table-smoke bench-smoke differential loadtest-smoke loadtest-sustained profile bench-compare fmt vet lint run-server smoke-server docs-lint fuzz-smoke cover
 
 all: build test lint
 
@@ -20,6 +20,16 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# differential runs the scenario-corpus differential harness at extra seed
+# depth — every dataset family x all seven algorithms x l in {2,3,4} — the
+# same sweep the weekly scheduled CI job runs. Narrow with
+# `make differential DIFF_FAMILIES=heavytail-sa,sa-card-l DIFF_SEEDS=1`.
+DIFF_FAMILIES ?= all
+DIFF_SEEDS ?= 3
+differential:
+	DIFF_FAMILIES=$(DIFF_FAMILIES) DIFF_SEEDS=$(DIFF_SEEDS) \
+		$(GO) test -race -run 'TestDifferentialCorpus|TestCorpusExpectedInfeasible' -v ./internal/audit/
 
 # make bench writes benchmark output to bench.txt; run it on two revisions
 # and compare with `benchstat old.txt bench.txt`

@@ -1,9 +1,14 @@
-// Command datagen generates the synthetic SAL / OCC census microdata used by
-// the evaluation and writes it as CSV.
+// Command datagen generates synthetic microdata from the scenario corpus —
+// the census SAL / OCC families of the evaluation plus the adversarial
+// families (correlated QI/SA, heavy-tail sensitive domains, deep taxonomies,
+// near-duplicates, degenerate edges) — and writes it as CSV. Every table is
+// checked against its family's Validate self-check before a byte is written.
 //
 // Usage:
 //
 //	datagen -dataset sal -rows 600000 -seed 1 -out sal.csv
+//	datagen -dataset heavytail-sa -rows 100000 -out tail.csv
+//	datagen -list
 package main
 
 import (
@@ -26,6 +31,7 @@ type options struct {
 	seed    int64
 	out     string
 	qi      string
+	list    bool
 }
 
 // errFlagParse marks errors the ContinueOnError FlagSet has already printed
@@ -39,11 +45,13 @@ var errFlagParse = errors.New("flag parse error")
 // callers of buildTable get the same error.
 func parseOptions(args []string) (options, *flag.FlagSet, error) {
 	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
-	dataset := fs.String("dataset", "sal", "dataset to generate: sal (sensitive attribute Income) or occ (Occupation)")
+	dataset := fs.String("dataset", "sal",
+		"scenario-corpus family to generate: "+strings.Join(ldiv.DatasetFamilies(), ", "))
 	rows := fs.Int("rows", 600000, "number of tuples")
 	seed := fs.Int64("seed", 1, "random seed")
 	out := fs.String("out", "", "output CSV path (default stdout)")
 	project := fs.String("qi", "", "optional comma-separated subset of QI attributes to keep")
+	list := fs.Bool("list", false, "print the scenario-corpus catalog and exit")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return options{}, fs, err
@@ -56,9 +64,11 @@ func parseOptions(args []string) (options, *flag.FlagSet, error) {
 		seed:    *seed,
 		out:     *out,
 		qi:      *project,
+		list:    *list,
 	}
-	if opts.dataset != "sal" && opts.dataset != "occ" {
-		return options{}, fs, fmt.Errorf("unknown dataset %q (want sal or occ)", *dataset)
+	if _, ok := ldiv.DatasetFamilyDescription(opts.dataset); !ok {
+		return options{}, fs, fmt.Errorf("unknown dataset %q (want one of %s)",
+			*dataset, strings.Join(ldiv.DatasetFamilies(), ", "))
 	}
 	if opts.rows < 0 {
 		return options{}, fs, fmt.Errorf("invalid -rows %d: must be non-negative", opts.rows)
@@ -66,22 +76,12 @@ func parseOptions(args []string) (options, *flag.FlagSet, error) {
 	return opts, fs, nil
 }
 
-// buildTable generates the requested dataset and applies the optional QI
-// projection. Unknown dataset names are rejected here, before any data is
-// generated.
+// buildTable generates the requested corpus family — running the family's
+// Validate self-check — and applies the optional QI projection. Unknown
+// family names are rejected here too, so library callers of buildTable get
+// the same error as the parse-time validation.
 func buildTable(opts options) (*ldiv.Table, error) {
-	var (
-		t   *ldiv.Table
-		err error
-	)
-	switch opts.dataset {
-	case "sal":
-		t, err = ldiv.GenerateSAL(opts.rows, opts.seed)
-	case "occ":
-		t, err = ldiv.GenerateOCC(opts.rows, opts.seed)
-	default:
-		return nil, fmt.Errorf("unknown dataset %q (want sal or occ)", opts.dataset)
-	}
+	t, err := ldiv.GenerateDataset(opts.dataset, opts.rows, opts.seed)
 	if err != nil {
 		return nil, err
 	}
@@ -114,6 +114,13 @@ func main() {
 			fs.Usage()
 		}
 		os.Exit(2)
+	}
+	if opts.list {
+		for _, name := range ldiv.DatasetFamilies() {
+			desc, _ := ldiv.DatasetFamilyDescription(name)
+			fmt.Printf("%-16s %s\n", name, desc)
+		}
+		return
 	}
 	t, err := buildTable(opts)
 	if err != nil {

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"ldiv"
 )
 
 func TestParseOptionsDefaults(t *testing.T) {
@@ -96,6 +98,47 @@ func TestBuildTableRejectsUnknownQI(t *testing.T) {
 	_, err := buildTable(options{dataset: "sal", rows: 10, seed: 1, qi: "Nope"})
 	if err == nil || !strings.Contains(err.Error(), "Nope") {
 		t.Fatalf("unknown QI attribute not rejected: %v", err)
+	}
+}
+
+// TestParseOptionsAcceptsEveryFamily pins the CLI contract of the scenario
+// corpus: every registered family name is a valid -dataset argument.
+func TestParseOptionsAcceptsEveryFamily(t *testing.T) {
+	for _, name := range ldiv.DatasetFamilies() {
+		opts, _, err := parseOptions([]string{"-dataset", name, "-rows", "120"})
+		if err != nil {
+			t.Errorf("family %q rejected: %v", name, err)
+			continue
+		}
+		if opts.dataset != name {
+			t.Errorf("family %q parsed as %q", name, opts.dataset)
+		}
+	}
+}
+
+// TestBuildTableEveryFamily generates a small table of every corpus family
+// through the same entry point main uses, so the -dataset plumbing (and the
+// Validate self-check behind it) covers the whole catalog.
+func TestBuildTableEveryFamily(t *testing.T) {
+	for _, name := range ldiv.DatasetFamilies() {
+		tbl, err := buildTable(options{dataset: name, rows: 240, seed: 3})
+		if err != nil {
+			t.Errorf("family %q: %v", name, err)
+			continue
+		}
+		if tbl.Len() == 0 || tbl.Dimensions() == 0 {
+			t.Errorf("family %q produced an empty table", name)
+		}
+	}
+}
+
+func TestParseOptionsList(t *testing.T) {
+	opts, _, err := parseOptions([]string{"-list"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opts.list {
+		t.Error("-list not recorded")
 	}
 }
 

@@ -10,6 +10,11 @@
 //	ldivbench -fig p3                  # phase-three frequency study
 //	ldivbench -fig all -workers 0      # one worker per CPU
 //	ldivbench -fig 4 -cpuprofile cpu.pprof -memprofile mem.pprof  # profile the SAL-4 timing run
+//	ldivbench -fig corpus              # scenario-corpus sweep, every family
+//	ldivbench -fig corpus -dataset heavytail-sa,near-duplicate
+//
+// The corpus sweep is not part of -fig all: it is not a paper figure, so
+// keeping it separate leaves the deterministic paper output byte-identical.
 package main
 
 import (
@@ -23,13 +28,16 @@ import (
 	"strings"
 	"time"
 
+	"ldiv/internal/dataset"
 	"ldiv/internal/experiment"
 )
 
 // options is the parsed command line: the figure selector plus the assembled
-// experiment configuration and the optional pprof output paths.
+// experiment configuration, the corpus family selection and the optional
+// pprof output paths.
 type options struct {
 	fig        string
+	families   []string
 	cfg        experiment.Config
 	cpuProfile string
 	memProfile string
@@ -46,9 +54,12 @@ var errFlagParse = errors.New("flag parse error")
 // parse-time validation of cmd/anonymize and cmd/datagen.
 func parseOptions(args []string) (options, *flag.FlagSet, error) {
 	fs := flag.NewFlagSet("ldivbench", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "which experiment to run: 2,3,4,5,6,7,8,p3,t6 or all")
+	fig := fs.String("fig", "all", "which experiment to run: 2,3,4,5,6,7,8,p3,t6, corpus or all (all excludes corpus)")
 	rows := fs.Int("rows", 0, "base table cardinality (0 = default 60000)")
 	klRows := fs.Int("klrows", 0, "cardinality for the KL figures (0 = default 15000)")
+	families := fs.String("dataset", "all",
+		"comma-separated scenario-corpus families for -fig corpus (all = whole catalog): "+strings.Join(dataset.Families(), ", "))
+	corpusRows := fs.Int("corpusrows", 0, "per-family cardinality for -fig corpus (0 = default 6000)")
 	projections := fs.Int("projections", -1, "max projections per d (-1 = default 5, 0 = all C(7,d) as in the paper)")
 	seed := fs.Int64("seed", 1, "generator seed")
 	workers := fs.Int("workers", 1, "concurrent experiment cells (1 = serial, 0 = one per CPU)")
@@ -74,6 +85,24 @@ func parseOptions(args []string) (options, *flag.FlagSet, error) {
 	if *workers < 0 {
 		return options{}, fs, fmt.Errorf("invalid -workers %d: must be positive (or 0 for one per CPU)", *workers)
 	}
+	if *corpusRows < 0 {
+		return options{}, fs, fmt.Errorf("invalid -corpusrows %d: must be positive (or 0 for the default)", *corpusRows)
+	}
+
+	// The family selection is validated at parse time — like -fig — so a typo
+	// fails before any experiment runs, not after minutes of figures.
+	var fams []string
+	if sel := strings.ToLower(*families); sel != "all" {
+		for _, name := range strings.Split(sel, ",") {
+			name = strings.TrimSpace(name)
+			fam, ok := dataset.Lookup(name)
+			if !ok {
+				return options{}, fs, fmt.Errorf("unknown dataset family %q (want one of %s)",
+					name, strings.Join(dataset.Families(), ", "))
+			}
+			fams = append(fams, fam.Name)
+		}
+	}
 
 	cfg := experiment.DefaultConfig()
 	if *paper {
@@ -88,6 +117,9 @@ func parseOptions(args []string) (options, *flag.FlagSet, error) {
 	if *projections >= 0 {
 		cfg.MaxProjections = *projections
 	}
+	if *corpusRows > 0 {
+		cfg.CorpusRows = *corpusRows
+	}
 	cfg.Seed = *seed
 	cfg.Workers = *workers
 
@@ -95,7 +127,7 @@ func parseOptions(args []string) (options, *flag.FlagSet, error) {
 	if want != "all" && !isKnown(want) {
 		return options{}, fs, fmt.Errorf("unknown figure %q", *fig)
 	}
-	return options{fig: want, cfg: cfg, cpuProfile: *cpuProfile, memProfile: *memProfile}, fs, nil
+	return options{fig: want, families: fams, cfg: cfg, cpuProfile: *cpuProfile, memProfile: *memProfile}, fs, nil
 }
 
 func main() {
@@ -188,6 +220,15 @@ func runFigures(opts options) error {
 			}
 		}
 	}
+	// The corpus sweep runs only when asked for by name: it is not a paper
+	// figure, and -fig all must keep producing byte-identical paper output.
+	if opts.fig == "corpus" {
+		if err := run("corpus", func() ([]experiment.Figure, error) {
+			return r.Corpus(opts.families)
+		}); err != nil {
+			return err
+		}
+	}
 	if selected("p3") {
 		start := time.Now()
 		rep, err := r.Phase3Frequency()
@@ -210,7 +251,7 @@ func runFigures(opts options) error {
 
 func isKnown(name string) bool {
 	switch name {
-	case "2", "3", "4", "5", "6", "7", "8", "p3", "t6":
+	case "2", "3", "4", "5", "6", "7", "8", "p3", "t6", "corpus":
 		return true
 	}
 	return false

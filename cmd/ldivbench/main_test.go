@@ -5,11 +5,12 @@ import (
 	"strings"
 	"testing"
 
+	"ldiv/internal/dataset"
 	"ldiv/internal/experiment"
 )
 
 func TestIsKnown(t *testing.T) {
-	for _, name := range []string{"2", "3", "4", "5", "6", "7", "8", "p3", "t6"} {
+	for _, name := range []string{"2", "3", "4", "5", "6", "7", "8", "p3", "t6", "corpus"} {
 		if !isKnown(name) {
 			t.Errorf("isKnown(%q) = false, want true", name)
 		}
@@ -88,6 +89,9 @@ func TestParseOptionsRejectsInvalid(t *testing.T) {
 		{"projections below -1", []string{"-projections", "-2"}, "-projections"},
 		{"negative workers", []string{"-workers", "-3"}, "-workers"},
 		{"negative rows with paper", []string{"-paper", "-rows", "-600000"}, "-rows"},
+		{"negative corpusrows", []string{"-corpusrows", "-7"}, "-corpusrows"},
+		{"unknown dataset family", []string{"-fig", "corpus", "-dataset", "census"}, "unknown dataset family"},
+		{"unknown family in list", []string{"-dataset", "sal,bogus"}, "unknown dataset family"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -118,5 +122,71 @@ func TestParseOptionsAcceptsBoundaryValues(t *testing.T) {
 	}
 	if opts.cfg.Workers != 0 {
 		t.Errorf("workers = %d, want 0", opts.cfg.Workers)
+	}
+}
+
+// TestParseOptionsCorpusSelection pins the -fig corpus plumbing: the family
+// list is validated and normalized at parse time, "all" (the default) means
+// the whole catalog (nil selection), and -corpusrows feeds the config.
+func TestParseOptionsCorpusSelection(t *testing.T) {
+	opts, _, err := parseOptions([]string{"-fig", "corpus"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.fig != "corpus" || opts.families != nil {
+		t.Errorf("default corpus selection = %+v, want fig corpus with nil families", opts)
+	}
+
+	opts, _, err = parseOptions([]string{
+		"-fig", "corpus", "-dataset", " Heavytail-SA , near-duplicate ", "-corpusrows", "800",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(opts.families, []string{"heavytail-sa", "near-duplicate"}) {
+		t.Errorf("families = %v, want normalized pair", opts.families)
+	}
+	if opts.cfg.CorpusRows != 800 {
+		t.Errorf("CorpusRows = %d, want 800", opts.cfg.CorpusRows)
+	}
+
+	for _, name := range dataset.Families() {
+		if _, _, err := parseOptions([]string{"-fig", "corpus", "-dataset", name}); err != nil {
+			t.Errorf("family %q rejected: %v", name, err)
+		}
+	}
+}
+
+// TestCorpusFigureShape runs the sweep on the degenerate edge families at a
+// tiny cardinality and pins the figure contract: one figure per requested
+// family, a series per generalization algorithm, and infeasible l values
+// omitted (sa-card-l defaults to max eligible l = 3, so l = 4 is absent).
+func TestCorpusFigureShape(t *testing.T) {
+	cfg := experiment.DefaultConfig()
+	cfg.CorpusRows = 300
+	figs, err := experiment.NewRunner(cfg).Corpus([]string{"sa-card-l", "distinct-sa"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("got %d figures, want 2", len(figs))
+	}
+	if figs[0].ID != "corpus-sa-card-l" || figs[1].ID != "corpus-distinct-sa" {
+		t.Errorf("figure IDs = %q, %q", figs[0].ID, figs[1].ID)
+	}
+	for _, fig := range figs {
+		if len(fig.Series) != len(experiment.CorpusAlgorithms) {
+			t.Errorf("%s: %d series, want %d", fig.ID, len(fig.Series), len(experiment.CorpusAlgorithms))
+		}
+	}
+	for _, s := range figs[0].Series {
+		if len(s.Points) != 2 {
+			t.Errorf("sa-card-l series %s has %d points, want 2 (l=4 infeasible)", s.Name, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.X != 2 && p.X != 3 {
+				t.Errorf("sa-card-l series %s has point at l=%v", s.Name, p.X)
+			}
+		}
 	}
 }

@@ -30,8 +30,10 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
+	"ldiv/internal/dataset"
 	"ldiv/internal/loadgen"
 	"ldiv/internal/service"
 )
@@ -50,6 +52,7 @@ type options struct {
 	rows        int
 	l           int
 	algo        string
+	dataset     string
 	tenants     int
 	concurrency int
 	rate        float64
@@ -95,6 +98,7 @@ func parseOptions(args []string) (options, *flag.FlagSet, error) {
 	rows := fs.Int("rows", 0, "override the scenario's table row count")
 	l := fs.Int("l", 0, "override the scenario's diversity parameter")
 	algo := fs.String("algo", "", "override the scenario's algorithm")
+	dataSet := fs.String("dataset", "", "override the scenario's corpus family: "+strings.Join(dataset.Families(), ", "))
 	tenants := fs.Int("tenants", 0, "override the scenario's tenant count")
 	concurrency := fs.Int("concurrency", 0, "override the scenario's worker count / in-flight cap")
 	rate := fs.Float64("rate", 0, "override to an open loop at this many submissions per second")
@@ -150,9 +154,20 @@ func parseOptions(args []string) (options, *flag.FlagSet, error) {
 	if _, ok := loadgen.NamedScenario(*scenario); !ok && !*matrix && !*list && *compare == "" && *degrade == "" {
 		return options{}, fs, fmt.Errorf("unknown scenario %q; -list prints the catalog", *scenario)
 	}
+	fam := ""
+	if *dataSet != "" {
+		// Validated at parse time — like -scenario — so a typo fails before
+		// the server starts and the body pool generates.
+		f, ok := dataset.Lookup(*dataSet)
+		if !ok {
+			return options{}, fs, fmt.Errorf("unknown dataset family %q (want one of %s)",
+				*dataSet, strings.Join(dataset.Families(), ", "))
+		}
+		fam = f.Name
+	}
 	return options{
 		addr: *addr, scenario: *scenario, matrix: *matrix, list: *list, outDir: *outDir,
-		duration: *duration, rows: *rows, l: *l, algo: *algo, tenants: *tenants,
+		duration: *duration, rows: *rows, l: *l, algo: *algo, dataset: fam, tenants: *tenants,
 		concurrency: *concurrency, rate: *rate, roundTrips: *roundTrips,
 		bodies: *bodies, sample: *sample, seed: *seed,
 		workers: *workers, queue: *queue, storeDir: *storeDir,
@@ -174,6 +189,9 @@ func applyOverrides(sc loadgen.Scenario, opts options) loadgen.Scenario {
 	}
 	if opts.algo != "" {
 		sc.Algorithm = opts.algo
+	}
+	if opts.dataset != "" {
+		sc.Dataset = opts.dataset
 	}
 	if opts.tenants > 0 {
 		sc.Tenants = opts.tenants
@@ -366,8 +384,12 @@ func main() {
 	case opts.list:
 		for _, name := range loadgen.ScenarioNames() {
 			sc, _ := loadgen.NamedScenario(name)
-			fmt.Printf("%-16s algo=%-8s l=%d rows=%-5d tenants=%-2d conc=%-2d %s\n",
-				name, sc.Algorithm, sc.L, sc.Rows, sc.Tenants, sc.Concurrency, loopModel(sc))
+			ds := sc.Dataset
+			if ds == "" {
+				ds = "sal"
+			}
+			fmt.Printf("%-16s algo=%-8s l=%d rows=%-5d dataset=%-14s tenants=%-2d conc=%-2d %s\n",
+				name, sc.Algorithm, sc.L, sc.Rows, ds, sc.Tenants, sc.Concurrency, loopModel(sc))
 		}
 		fmt.Printf("matrix           %d generated cells (-matrix)\n", len(loadgen.Matrix()))
 		return

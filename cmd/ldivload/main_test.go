@@ -33,6 +33,10 @@ func TestParseOptions(t *testing.T) {
 		{name: "negative queue", args: []string{"-queue", "-2"}, wantErr: "-queue"},
 		{name: "matrix with shared store dir", args: []string{"-matrix", "-store-dir", "/tmp/x"}, wantErr: "-store-dir"},
 		{name: "overrides", args: []string{"-duration", "1s", "-rows", "100", "-l", "2", "-tenants", "3", "-rate", "50"}},
+		{name: "corpus scenario", args: []string{"-scenario", "corpus-heavytail"}},
+		{name: "dataset override", args: []string{"-dataset", "near-duplicate"}},
+		{name: "dataset override normalized", args: []string{"-dataset", "CORR-SA"}},
+		{name: "unknown dataset", args: []string{"-dataset", "census"}, wantErr: "unknown dataset family"},
 		{name: "bad flag", args: []string{"-no-such-flag"}, wantErr: "flag parse error"},
 	}
 	for _, tc := range tests {
@@ -54,12 +58,13 @@ func TestParseOptions(t *testing.T) {
 func TestApplyOverrides(t *testing.T) {
 	base, _ := loadgen.NamedScenario("smoke")
 	opts := options{
-		duration: time.Second, rows: 123, l: 2, algo: "mondrian",
+		duration: time.Second, rows: 123, l: 2, algo: "mondrian", dataset: "heavytail-sa",
 		tenants: 5, concurrency: 3, rate: 9.5, roundTrips: 42,
 		bodies: 4, sample: 2, seed: 77,
 	}
 	sc := applyOverrides(base, opts)
 	if sc.Duration != time.Second || sc.Rows != 123 || sc.L != 2 || sc.Algorithm != "mondrian" ||
+		sc.Dataset != "heavytail-sa" ||
 		sc.Tenants != 5 || sc.Concurrency != 3 || sc.RatePerSec != 9.5 || sc.RoundTrips != 42 ||
 		sc.UniqueBodies != 4 || sc.SampleEvery != 2 || sc.Seed != 77 {
 		t.Errorf("overrides not applied: %+v", sc)

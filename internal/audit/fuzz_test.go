@@ -5,7 +5,9 @@ import (
 	"strings"
 	"testing"
 
+	"ldiv"
 	"ldiv/internal/audit"
+	"ldiv/internal/dataset"
 	"ldiv/internal/table"
 )
 
@@ -41,6 +43,53 @@ func checkReport(t *testing.T, rep *audit.Report) {
 	}
 }
 
+// corpusFamilySeeds renders one small release per scenario-corpus family
+// beyond the census pair, so the fuzzers start from the cell shapes the new
+// families produce (huge sensitive domains, single groups, unique rows).
+// Against the fixed fuzz original these parse as schema mismatches, which is
+// exactly the frontier the mutation engine should explore outward from.
+func corpusFamilySeeds(f *testing.F, anatomyRelease bool) [][2][]byte {
+	f.Helper()
+	var out [][2][]byte
+	for _, name := range dataset.Families() {
+		if name == "sal" || name == "occ" {
+			continue
+		}
+		tab, err := dataset.Generate(name, dataset.Config{Rows: 60, Seed: 23})
+		if err != nil {
+			f.Fatalf("seeding from family %s: %v", name, err)
+		}
+		if ldiv.MaxEligibleL(tab) < 2 {
+			f.Fatalf("family %s seed table is not 2-eligible", name)
+		}
+		if anatomyRelease {
+			an, err := ldiv.Anatomize(tab, 2)
+			if err != nil {
+				f.Fatalf("anatomy on family %s: %v", name, err)
+			}
+			var qb, sb bytes.Buffer
+			if err := ldiv.WriteAnatomyQITCSV(&qb, tab, an); err != nil {
+				f.Fatal(err)
+			}
+			if err := ldiv.WriteAnatomySTCSV(&sb, tab, an); err != nil {
+				f.Fatal(err)
+			}
+			out = append(out, [2][]byte{qb.Bytes(), sb.Bytes()})
+			continue
+		}
+		gen, _, err := ldiv.AnonymizeWith(tab, 2, "tp")
+		if err != nil {
+			f.Fatalf("tp on family %s: %v", name, err)
+		}
+		var b bytes.Buffer
+		if err := ldiv.WriteGeneralizedCSV(&b, gen); err != nil {
+			f.Fatal(err)
+		}
+		out = append(out, [2][]byte{b.Bytes(), nil})
+	}
+	return out
+}
+
 // FuzzParseGeneralizedRelease fuzzes the generalized-release parser and
 // verifier with arbitrary bytes: it must never panic and never return an
 // error for in-memory input (corrupt releases are verdicts, not errors), and
@@ -54,6 +103,9 @@ func FuzzParseGeneralizedRelease(f *testing.F) {
 	f.Add([]byte("Age,Gender,Disease\n99,Q,zzz\n"))
 	f.Add([]byte("\"unterminated\n"))
 	f.Add([]byte(""))
+	for _, seed := range corpusFamilySeeds(f, false) {
+		f.Add(seed[0])
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tab := fuzzOriginal(t)
 		rep, err := audit.VerifyGeneralized(tab, bytes.NewReader(data), audit.Options{L: 2})
@@ -73,6 +125,9 @@ func FuzzParseAnatomyRelease(f *testing.F) {
 	f.Add([]byte("Row,Age,Gender,GroupID\n0,30,M,99\n"), []byte("GroupID,Disease,Count\n0,flu,0\n"))
 	f.Add([]byte("Row,Age,Gender,GroupID\nx,30,M,y\n"), []byte("GroupID,Disease,Count\n"))
 	f.Add([]byte(""), []byte(""))
+	for _, seed := range corpusFamilySeeds(f, true) {
+		f.Add(seed[0], seed[1])
+	}
 	f.Fuzz(func(t *testing.T, qit, st []byte) {
 		tab := fuzzOriginal(t)
 		rep, err := audit.VerifyAnatomy(tab, bytes.NewReader(qit), bytes.NewReader(st), audit.Options{L: 2})

@@ -40,12 +40,25 @@ var QICardinalities = []int{
 	BirthPlaceCardinality, EducationCardinality, WorkClassCardinality,
 }
 
-// Config controls the synthetic generators.
+// Config controls the synthetic generators. Rows and Seed apply to every
+// family of the scenario corpus (see corpus.go); the remaining knobs
+// parameterize individual families and are ignored — at their zero value —
+// by the families that do not consume them.
 type Config struct {
 	// Rows is the number of tuples to generate. The paper uses 600000.
 	Rows int
 	// Seed makes generation reproducible.
 	Seed int64
+	// Correlation tunes the corr-sa family: the probability that a row's
+	// sensitive value is the fixed bijective image of its first QI value.
+	// 0 means the family default (0.85); valid values are in [0,1].
+	Correlation float64
+	// SACard overrides the sensitive domain size of the heavytail-sa
+	// family. 0 means the family default (2500).
+	SACard int
+	// L parameterizes the sa-card-l family (the sensitive domain holds
+	// exactly L balanced values). 0 means the family default (3).
+	L int
 }
 
 // DefaultConfig returns the paper-scale configuration (600k rows).
@@ -53,14 +66,21 @@ func DefaultConfig() Config { return Config{Rows: 600000, Seed: 1} }
 
 // GenerateSAL generates a SAL-like table: the seven QI attributes of Table 6
 // with Income (50 values) as the sensitive attribute.
+//
+// Deprecated: SAL is the "sal" entry of the scenario-corpus registry; new
+// callers should use Generate("sal", cfg) (or GenerateValidated) so the
+// family self-check and catalog tooling see the same entry point.
 func GenerateSAL(cfg Config) (*table.Table, error) {
-	return generate(cfg, "Income", IncomeCardinality)
+	return Generate("sal", cfg)
 }
 
 // GenerateOCC generates an OCC-like table: the same QI attributes with
 // Occupation (50 values) as the sensitive attribute.
+//
+// Deprecated: OCC is the "occ" entry of the scenario-corpus registry; new
+// callers should use Generate("occ", cfg) (or GenerateValidated).
 func GenerateOCC(cfg Config) (*table.Table, error) {
-	return generate(cfg, "Occupation", OccupationCardinality)
+	return Generate("occ", cfg)
 }
 
 func generate(cfg Config, saName string, saCard int) (*table.Table, error) {

@@ -163,3 +163,60 @@ func TestProjectionTables(t *testing.T) {
 		t.Errorf("C(7,2) projections = %d, want 21", len(all))
 	}
 }
+
+// TestProjectionsEdgeCases pins the boundary contract of the projection
+// enumerators in one table: d outside [1, len(QINames)] is always an error,
+// and every non-positive maxTables means "no cap", not "no tables".
+func TestProjectionsEdgeCases(t *testing.T) {
+	base, err := GenerateSAL(Config{Rows: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name      string
+		d         int
+		maxTables int
+		want      int // expected table count; -1 means an error
+	}{
+		{name: "d zero", d: 0, maxTables: 0, want: -1},
+		{name: "d negative", d: -3, maxTables: 0, want: -1},
+		{name: "d above QI count", d: len(QINames) + 1, maxTables: 0, want: -1},
+		{name: "d far above QI count", d: 100, maxTables: 5, want: -1},
+		{name: "zero cap means all", d: 2, maxTables: 0, want: 21},
+		{name: "negative cap means all", d: 2, maxTables: -1, want: 21},
+		{name: "very negative cap means all", d: 1, maxTables: -99, want: 7},
+		{name: "cap of one", d: 3, maxTables: 1, want: 1},
+		{name: "cap above count is a no-op", d: 7, maxTables: 50, want: 1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			combos, cerr := Projections(tc.d)
+			tables, terr := ProjectionTables(base, tc.d, tc.maxTables)
+			if tc.want < 0 {
+				if cerr == nil {
+					t.Errorf("Projections(%d) accepted an out-of-range d", tc.d)
+				}
+				if terr == nil {
+					t.Errorf("ProjectionTables(d=%d) accepted an out-of-range d", tc.d)
+				}
+				return
+			}
+			if cerr != nil || terr != nil {
+				t.Fatalf("unexpected errors: Projections=%v ProjectionTables=%v", cerr, terr)
+			}
+			if tc.maxTables <= 0 && len(combos) != tc.want {
+				t.Errorf("Projections(%d) = %d combos, want %d", tc.d, len(combos), tc.want)
+			}
+			if len(tables) != tc.want {
+				t.Errorf("ProjectionTables(d=%d, max=%d) = %d tables, want %d",
+					tc.d, tc.maxTables, len(tables), tc.want)
+			}
+			for _, tbl := range tables {
+				if tbl.Dimensions() != tc.d || tbl.Len() != base.Len() {
+					t.Errorf("projection shape %dx%d, want %dx%d",
+						tbl.Len(), tbl.Dimensions(), base.Len(), tc.d)
+				}
+			}
+		})
+	}
+}

@@ -47,6 +47,11 @@ type Config struct {
 	// KLRows optionally reduces the cardinality used by the KL-divergence
 	// figures, which are quadratic in the number of groups; 0 means Rows.
 	KLRows int
+	// CorpusRows is the per-family cardinality of the scenario-corpus sweep
+	// (Runner.Corpus); 0 means 6000. It is kept well below Rows because the
+	// sweep crosses every dataset family with every generalization algorithm,
+	// including the lattice-search baselines.
+	CorpusRows int
 	// Workers bounds the number of experiment cells (one algorithm run on
 	// one projection) executed concurrently. 1 runs everything serially;
 	// values below 1 use one worker per CPU. Cells are independent and
@@ -264,10 +269,16 @@ type cell struct {
 func (r *Runner) runCells(cells []cell, withKL bool) ([]RunOutcome, error) {
 	return parallel.Map(r.Cfg.Workers, len(cells), func(i int) (RunOutcome, error) {
 		c := cells[i]
-		if c.algo == AlgoTDS {
+		switch c.algo {
+		case AlgoTDS:
 			return RunTDS(c.table, c.l, withKL)
+		case AlgoMondrian:
+			return RunMondrian(c.table, c.l, withKL)
+		case AlgoIncognito:
+			return RunIncognito(c.table, c.l, withKL)
+		default:
+			return RunSuppression(c.table, c.l, c.algo, withKL)
 		}
-		return RunSuppression(c.table, c.l, c.algo, withKL)
 	})
 }
 

@@ -31,6 +31,10 @@ var deterministicPkgs = map[string]bool{
 	// or clock nondeterminism there churns the benchmark trajectory. Its
 	// deliberate wall-clock reads carry reasoned lint:ignore directives.
 	"loadgen": true,
+	// The scenario-corpus generators promise same-seed byte-identical tables
+	// (the differential harness and the fuzz seeds depend on it), so their
+	// generate and Validate paths must stay free of map ranges and clocks.
+	"dataset": true,
 	// The grouping primitive (radix sort over packed rank keys) and the
 	// worker pool under the TP core's parallel stages feed every release;
 	// a map iteration or clock read in either would leak nondeterminism

@@ -14,8 +14,9 @@ import (
 
 func TestDetrange(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.Detrange,
-		"ldiv/internal/core",    // release-producing: positive + escape hatches
-		"ldiv/internal/dataset", // outside the deterministic set: all negative
+		"ldiv/internal/core",        // release-producing: positive + escape hatches
+		"ldiv/internal/dataset",     // release-producing since the scenario corpus: positive + seeded-source idiom
+		"ldiv/internal/eligibility", // outside the deterministic set: all negative
 	)
 }
 

@@ -24,6 +24,10 @@ var narrowconvPkgs = map[string]bool{
 	// The load harness aggregates round-trip and error counts whose whole
 	// point is regression detection; a silent narrowing would fake a perf win.
 	"loadgen": true,
+	// The corpus validators assert count-based properties (frequencies,
+	// group sizes, eligibility margins); a narrowed count would let a
+	// malformed family self-certify.
+	"dataset": true,
 }
 
 // Narrowconv flags the PR 5 bug class: narrowing a count-carrying integer

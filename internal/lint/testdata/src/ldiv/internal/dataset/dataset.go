@@ -1,16 +1,55 @@
-// Package dataset is detrange negative testdata: its import path is not in
-// the release-producing set, so map ranges and clocks pass without comment
-// (the generators are seeded at a higher level).
+// Package dataset is detrange positive testdata: the scenario-corpus
+// generators promise same-seed byte-identical tables, so the package sits in
+// the release-producing set and map ranges, clocks, and the global rand are
+// flagged. Seeded rand.New sources — the way every real generator draws —
+// pass.
 package dataset
 
-import "time"
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
 
-func mapRangeUnflagged(m map[string]int) []string {
+// mapRangeFlagged: a generator assembling values from a map walk would bake
+// the runtime's randomized order into the "deterministic" table.
+func mapRangeFlagged(m map[string]int) []string {
 	var out []string
-	for k := range m {
+	for k := range m { // want `nondeterministic iteration over map m`
 		out = append(out, k)
 	}
 	return out
 }
 
-func wallClockUnflagged() int64 { return time.Now().Unix() }
+// mapRangeFeedsSort: collect-then-sort stays the blessed idiom here too.
+func mapRangeFeedsSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// wallClockFlagged: a clock read would make same-seed outputs differ.
+func wallClockFlagged() int64 {
+	return time.Now().Unix() // want `time.Now in release-producing package dataset`
+}
+
+// globalRandFlagged: the global source ignores the family's Config.Seed.
+func globalRandFlagged() int {
+	return rand.Intn(10) // want `rand\.Intn draws from math/rand's global source`
+}
+
+// seededSourceOK: the generators' actual idiom — an explicit source derived
+// from the caller's seed — is deterministic and passes.
+func seededSourceOK(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// suppressedClock: a reasoned escape hatch must silence the diagnostic.
+func suppressedClock() int64 {
+	//lint:ignore detrange testdata exercising the suppression filter
+	return time.Now().Unix()
+}

@@ -1,0 +1,18 @@
+// Package eligibility is detrange negative testdata: the predicates are pure
+// functions of their arguments, the import path is not in the
+// release-producing set, and so map ranges and clocks pass without comment.
+// (The real package is in narrowconv's scope instead; these cases do not
+// touch count conversions.)
+package eligibility
+
+import "time"
+
+func mapRangeUnflagged(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func wallClockUnflagged() int64 { return time.Now().Unix() }

@@ -57,8 +57,12 @@ type Scenario struct {
 	L int
 	// Rows is the row count of each generated table.
 	Rows int
-	// QICols is how many SAL quasi-identifier columns each table keeps
-	// (1..7). Default 3.
+	// Dataset is the scenario-corpus family the tables are generated from
+	// (any name in ldiv.DatasetFamilies). Default "sal".
+	Dataset string
+	// QICols is how many leading quasi-identifier columns each table keeps
+	// (families differ in width; values at or above the family's QI count
+	// keep every column). Default 3.
 	QICols int
 	// Tenants is the number of distinct X-Tenant header values cycled across
 	// round trips. Default 1.
@@ -106,6 +110,9 @@ func (sc Scenario) withDefaults() Scenario {
 	if sc.Rows == 0 {
 		sc.Rows = 500
 	}
+	if sc.Dataset == "" {
+		sc.Dataset = "sal"
+	}
 	if sc.QICols == 0 {
 		sc.QICols = 3
 	}
@@ -140,6 +147,7 @@ func (sc Scenario) info() ScenarioInfo {
 		Algorithm:   sc.Algorithm,
 		L:           sc.L,
 		Rows:        sc.Rows,
+		Dataset:     sc.Dataset,
 		QICols:      sc.QICols,
 		Tenants:     sc.Tenants,
 		Concurrency: sc.Concurrency,
@@ -370,19 +378,21 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 	return rep, nil
 }
 
-// newRunState generates the body pool. Seeds that produce an l-ineligible
-// table (possible on small skewed samples) are skipped, up to a bound.
+// newRunState generates the body pool from the scenario's corpus family.
+// Seeds that produce an l-ineligible table (possible on small skewed samples)
+// are skipped, up to a bound; every generated table passes its family's
+// Validate self-check inside GenerateDataset before it enters the pool.
 func newRunState(sc Scenario) (*runState, error) {
 	st := &runState{}
 	seed := sc.Seed
 	for attempts := 0; len(st.bodies) < sc.UniqueBodies; attempts++ {
 		if attempts >= 4*sc.UniqueBodies {
-			return nil, fmt.Errorf("loadgen: could not generate %d %d-eligible tables of %d rows (got %d); lower l or raise rows",
-				sc.UniqueBodies, sc.L, sc.Rows, len(st.bodies))
+			return nil, fmt.Errorf("loadgen: could not generate %d %d-eligible %s tables of %d rows (got %d); lower l or raise rows",
+				sc.UniqueBodies, sc.L, sc.Dataset, sc.Rows, len(st.bodies))
 		}
-		t, err := ldiv.GenerateSAL(sc.Rows, seed)
+		t, err := ldiv.GenerateDataset(sc.Dataset, sc.Rows, seed)
 		if err != nil {
-			return nil, fmt.Errorf("loadgen: generating table: %w", err)
+			return nil, fmt.Errorf("loadgen: generating %s table: %w", sc.Dataset, err)
 		}
 		seed++
 		qiNames := t.Schema().QINames()

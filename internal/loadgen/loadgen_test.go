@@ -140,6 +140,48 @@ func TestRunAnatomyRoundTrips(t *testing.T) {
 	}
 }
 
+// TestRunCorpusDataset drives a non-census corpus family end to end: the body
+// pool comes from the corr-sa generator (every table passing its Validate
+// self-check), the sampled results must still be byte-identical to the
+// library oracle, and the BENCH report must echo the family so trajectory
+// files stay self-describing.
+func TestRunCorpusDataset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus round trips are covered by the full run")
+	}
+	ts := startServer(t, service.Config{QueueDepth: 2048})
+	r := &loadgen.Runner{
+		BaseURL: ts.URL,
+		Scenario: loadgen.Scenario{
+			Name:         "race-corpus",
+			Algorithm:    "tp+",
+			L:            3,
+			Rows:         300,
+			Dataset:      "corr-sa",
+			QICols:       4,
+			Concurrency:  8,
+			RoundTrips:   80,
+			UniqueBodies: 6,
+			SampleEvery:  2,
+			Seed:         5,
+		},
+		Logf: t.Logf,
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Throughput.Succeeded != 80 || rep.Errors != (loadgen.ErrorStats{}) {
+		t.Errorf("succeeded = %d, errors = %+v", rep.Throughput.Succeeded, rep.Errors)
+	}
+	if rep.Verify.Sampled != 40 || rep.Verify.OracleMismatch != 0 || rep.Verify.AuditViolations != 0 {
+		t.Errorf("verification: %+v", rep.Verify)
+	}
+	if rep.Scenario.Dataset != "corr-sa" {
+		t.Errorf("report echoes dataset %q, want corr-sa", rep.Scenario.Dataset)
+	}
+}
+
 // TestRunOpenLoop drives the fixed-rate loop briefly and checks the report
 // stays internally consistent when ticks outrun the in-flight cap.
 func TestRunOpenLoop(t *testing.T) {

@@ -51,6 +51,7 @@ type ScenarioInfo struct {
 	Algorithm   string  `json:"algorithm"`
 	L           int     `json:"l"`
 	Rows        int     `json:"rows"`
+	Dataset     string  `json:"dataset,omitempty"` // scenario-corpus family; absent in pre-corpus BENCH files (= sal)
 	QICols      int     `json:"qi_cols"`
 	Tenants     int     `json:"tenants"`
 	Concurrency int     `json:"concurrency"`

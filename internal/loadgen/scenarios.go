@@ -57,6 +57,31 @@ var namedScenarios = map[string]Scenario{
 		Tenants: 4, Concurrency: 32, UniqueBodies: 48, SampleEvery: 8,
 		Duration: 10 * time.Second, RatePerSec: 200,
 	},
+	// corpus-corr drives the correlated QI/SA family: the modal sensitive
+	// value is predictable from QI0, so the partitioner has to break up the
+	// very groups locality would keep together — worst case for TP+'s
+	// Hilbert fallback.
+	"corpus-corr": {
+		Name: "corpus-corr", Algorithm: "tp+", L: 4, Rows: 1200, Dataset: "corr-sa",
+		QICols: 4, Tenants: 2, Concurrency: 8, UniqueBodies: 24, SampleEvery: 4,
+		Duration: 5 * time.Second,
+	},
+	// corpus-heavytail drives the Zipf sensitive domain through anatomy: the
+	// ST table carries thousands of distinct values, so result payloads and
+	// the two-table verify path dominate, not the partitioning.
+	"corpus-heavytail": {
+		Name: "corpus-heavytail", Algorithm: "anatomy", L: 4, Rows: 2000, Dataset: "heavytail-sa",
+		QICols: 3, Tenants: 2, Concurrency: 8, UniqueBodies: 24, SampleEvery: 4,
+		Duration: 5 * time.Second,
+	},
+	// corpus-neardup drives the near-duplicate family: a handful of merged
+	// QI signatures make huge pre-merged groups, stressing the group-level
+	// phases instead of the per-tuple ones.
+	"corpus-neardup": {
+		Name: "corpus-neardup", Algorithm: "tp+", L: 4, Rows: 1200, Dataset: "near-duplicate",
+		QICols: 4, Tenants: 2, Concurrency: 8, UniqueBodies: 24, SampleEvery: 4,
+		Duration: 5 * time.Second,
+	},
 }
 
 // NamedScenario returns a catalog scenario by name.

@@ -407,13 +407,40 @@ func EvaluateWorkload(g *Generalized, w *Workload) (*WorkloadEvaluation, error) 
 }
 
 // GenerateSAL generates a synthetic SAL-like census table (sensitive
-// attribute Income) with the attribute domains of the paper's Table 6.
+// attribute Income) with the attribute domains of the paper's Table 6. It is
+// the "sal" entry of the scenario corpus (see DatasetFamilies).
 func GenerateSAL(rows int, seed int64) (*Table, error) {
-	return dataset.GenerateSAL(dataset.Config{Rows: rows, Seed: seed})
+	return dataset.Generate("sal", dataset.Config{Rows: rows, Seed: seed})
 }
 
 // GenerateOCC generates a synthetic OCC-like census table (sensitive
-// attribute Occupation).
+// attribute Occupation), the "occ" corpus entry.
 func GenerateOCC(rows int, seed int64) (*Table, error) {
-	return dataset.GenerateOCC(dataset.Config{Rows: rows, Seed: seed})
+	return dataset.Generate("occ", dataset.Config{Rows: rows, Seed: seed})
+}
+
+// DatasetFamilies lists the scenario-corpus dataset families in catalog
+// order, starting with the census pair ("sal", "occ") and continuing with
+// the adversarial families engineered to stress the algorithms outside the
+// census envelope (correlated QI/SA, heavy-tail sensitive domains, deep
+// taxonomies, near-duplicate signatures, degenerate edges). Every name is a
+// valid -dataset argument of cmd/datagen and a valid GenerateDataset family.
+func DatasetFamilies() []string { return dataset.Families() }
+
+// DatasetFamilyDescription returns the one-line property statement of a
+// corpus family and whether the family exists.
+func DatasetFamilyDescription(family string) (string, bool) {
+	f, ok := dataset.Lookup(family)
+	if !ok {
+		return "", false
+	}
+	return f.Description, true
+}
+
+// GenerateDataset generates a table of the named scenario-corpus family and
+// runs the family's Validate self-check before returning, so the advertised
+// property (correlation strength, heavy tail, degenerate shape, ...) is
+// guaranteed to hold on the returned table.
+func GenerateDataset(family string, rows int, seed int64) (*Table, error) {
+	return dataset.GenerateValidated(family, dataset.Config{Rows: rows, Seed: seed})
 }

@@ -44,6 +44,31 @@ if [ -f docs/ARCHITECTURE.md ]; then
     done
 fi
 
+# The README's dataset catalog must match the scenario corpus exactly: the
+# "## Datasets" section lists families as table rows "| `name` | ...", and
+# every family is registered with a `Name: "..."` literal in
+# internal/dataset/corpus.go (the only file defining them, by convention
+# stated in its header). Both a documented-but-unregistered family and a
+# registered-but-undocumented one fail.
+if [ -f README.md ]; then
+    doc_fams="$(sed -n '/^## Datasets/,/^## [^D]/p' README.md \
+        | grep -oE '^\| `[a-z0-9-]+`' | tr -d '|` ' | sort || true)"
+    reg_fams="$(grep -oE 'Name:[[:space:]]*"[a-z0-9-]+"' internal/dataset/corpus.go \
+        | sed 's/.*"\([a-z0-9-]*\)"/\1/' | sort || true)"
+    if [ -z "$doc_fams" ]; then
+        echo "docs-lint: README.md has no family table under '## Datasets'" >&2
+        fail=1
+    elif [ -z "$reg_fams" ]; then
+        echo "docs-lint: no Name: literals found in internal/dataset/corpus.go" >&2
+        fail=1
+    elif [ "$doc_fams" != "$reg_fams" ]; then
+        echo "docs-lint: README '## Datasets' table disagrees with internal/dataset/corpus.go:" >&2
+        echo "  documented: $(echo $doc_fams)" >&2
+        echo "  registered: $(echo $reg_fams)" >&2
+        fail=1
+    fi
+fi
+
 if [ "$fail" -eq 0 ]; then
     echo "docs-lint: OK"
 fi
